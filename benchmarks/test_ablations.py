@@ -1,0 +1,96 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Not part of the paper's evaluation — these quantify the implementation
+decisions of this reproduction:
+
+* **dependence-graph coalescing** — how much the step-run coalescing
+  shrinks the placement DP's input (and speeds up `solve_placement`);
+* **trace-file round trip** — the cost of serializing + reparsing the
+  race trace between detection and repair (the paper attributes repair
+  time largely to reading trace files; mergesort is its showcase);
+* **S-DPST pruning** (§9 future work) — how much of the tree the
+  race-free-subtree GC reclaims per benchmark.
+"""
+
+import time
+
+import pytest
+
+from repro.bench import get_benchmark
+from repro.dpst import prune_race_free
+from repro.lang import strip_finishes
+from repro.races import detect_races
+from repro.repair import repair_program
+from repro.repair.dependence import (
+    build_dependence_graph,
+    group_races_by_nslca,
+)
+from repro.repair.placement import solve_placement
+
+from conftest import bench_args, collect_row
+
+
+@pytest.mark.parametrize("name", ["series", "mandelbrot", "sor"])
+def test_ablation_coalescing(name, benchmark):
+    """Coalescing shrinks the widest NS-LCA graph by orders of magnitude."""
+    spec = get_benchmark(name)
+    buggy = strip_finishes(spec.parse())
+    det = detect_races(buggy, bench_args(spec))
+    pairs = det.report.distinct_step_pairs()
+    groups = group_races_by_nslca(det.dpst, pairs)
+    nslca, group = max(groups.items(), key=lambda kv: len(kv[1]))
+
+    raw = build_dependence_graph(det.dpst, nslca, group, coalesce=False)
+
+    def coalesced_solve():
+        graph = build_dependence_graph(det.dpst, nslca, group)
+        return graph, solve_placement(graph.times(),
+                                      [n.is_async for n in graph.nodes],
+                                      graph.edges)
+
+    graph, solution = benchmark.pedantic(coalesced_solve, rounds=1,
+                                         iterations=1)
+    assert solution is not None
+    assert graph.size < raw.size
+    collect_row("Table 2", {  # appended as extra context rows
+        "benchmark": f"[ablation/coalescing] {name}",
+        "hj_seq_ms": "-",
+        "detection_ms": "-",
+        "sdpst_nodes": f"raw n={raw.size}",
+        "races": f"coalesced n={graph.size}",
+        "repair_s": "-",
+    })
+
+
+@pytest.mark.parametrize("name", ["mergesort"])
+def test_ablation_trace_roundtrip(name, benchmark):
+    """The trace-file round trip is a real share of MRW repair time."""
+    spec = get_benchmark(name)
+    buggy = strip_finishes(spec.parse())
+    args = bench_args(spec)
+
+    def with_trace():
+        return repair_program(buggy, args, trace_roundtrip=True)
+
+    start = time.perf_counter()
+    without = repair_program(buggy, args, trace_roundtrip=False)
+    no_trace_s = time.perf_counter() - start
+    with_result = benchmark.pedantic(with_trace, rounds=1, iterations=1)
+    assert with_result.converged and without.converged
+    assert with_result.repaired_source == without.repaired_source
+
+
+@pytest.mark.parametrize("name", ["quicksort", "mergesort", "fannkuch"])
+def test_ablation_dpst_pruning(name, benchmark):
+    """§9 future work: pruning race-free subtrees after detection."""
+    spec = get_benchmark(name)
+    buggy = strip_finishes(spec.parse())
+    det = detect_races(buggy, bench_args(spec))
+    before = det.dpst.node_count()
+
+    def prune():
+        return prune_race_free(det.dpst, det.report)
+
+    removed = benchmark.pedantic(prune, rounds=1, iterations=1)
+    assert removed >= 0
+    assert det.dpst.node_count() == before - removed

@@ -1,0 +1,27 @@
+"""Section 7.4: automated grading of student homework.
+
+Times the grading of the full 59-submission population against the tool's
+reference repair, and checks the paper's class counts (5 racy / 29
+over-synchronized / 25 matched).
+"""
+
+from repro.bench.students import run_student_experiment
+
+from conftest import collect_row
+
+
+def test_student_grading(benchmark):
+    result = benchmark.pedantic(run_student_experiment,
+                                rounds=1, iterations=1)
+    assert result["total"] == 59
+    assert result["racy"] == 5
+    assert result["over_synchronized"] == 29
+    assert result["matched"] == 25
+    assert result["mismatches"] == []
+    collect_row("Section 7.4", {
+        "total": result["total"],
+        "racy": result["racy"],
+        "over_synchronized": result["over_synchronized"],
+        "matched": result["matched"],
+        "paper": "59 = 5 + 29 + 25",
+    })

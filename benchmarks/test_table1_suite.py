@@ -1,0 +1,35 @@
+"""Table 1: the benchmark suite and its input sizes.
+
+This bench times the front-end (parse + validate) per benchmark and
+collects the Table 1 rows.
+"""
+
+import pytest
+
+from repro.bench import get_benchmark
+from repro.lang import parse, validate
+from repro.runtime import BUILTIN_NAMES
+
+from conftest import benchmark_names, collect_row
+
+
+@pytest.mark.parametrize("name", benchmark_names())
+def test_table1_row(name, benchmark):
+    spec = get_benchmark(name)
+
+    def front_end():
+        program = parse(spec.source, source_name=spec.name)
+        validate(program, BUILTIN_NAMES)
+        return program
+
+    program = benchmark(front_end)
+    assert "main" in program.functions
+    collect_row("Table 1", {
+        "source": spec.suite,
+        "benchmark": spec.name,
+        "description": spec.description,
+        "paper_repair_input": spec.paper_repair_input,
+        "repro_repair_args": spec.repair_args,
+        "paper_perf_input": spec.paper_perf_input,
+        "repro_perf_args": spec.perf_args,
+    })

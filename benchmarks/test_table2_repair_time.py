@@ -1,0 +1,51 @@
+"""Table 2: time for program repair (repair-mode inputs, MRW detector).
+
+Each benchmark row reports: HJ-Seq (uninstrumented sequential run),
+data-race detection time (instrumented run + S-DPST construction),
+S-DPST node count, number of MRW races, and the repair (placement) time.
+
+The timed phase is the complete repair pipeline; the resulting artefact
+is cached for the other tables.
+"""
+
+import time
+
+import pytest
+
+from repro.bench import get_benchmark
+from repro.lang import strip_finishes
+from repro.repair import repair_program
+from repro.runtime import run_program
+
+from conftest import bench_args, collect_row, benchmark_names
+
+
+@pytest.mark.parametrize("name", benchmark_names())
+def test_table2_row(name, benchmark, repair_cache):
+    spec = get_benchmark(name)
+    args = bench_args(spec)
+    buggy = strip_finishes(spec.parse())
+
+    start = time.perf_counter()
+    run_program(buggy, args)
+    hj_seq_ms = (time.perf_counter() - start) * 1000.0
+
+    def full_repair():
+        return repair_program(buggy, args)
+
+    result = benchmark.pedantic(full_repair, rounds=1, iterations=1)
+    assert result.converged, result.summary()
+    repair_cache.put(name, "mrw", result)
+    first = result.iterations[0].detection
+
+    # Paper shape: the count columns grow together with repair time, and
+    # a single iteration with one test case suffices (Section 7.1).
+    assert len(result.iterations) == 1
+    collect_row("Table 2", {
+        "benchmark": name,
+        "hj_seq_ms": round(hj_seq_ms, 1),
+        "detection_ms": round(first.elapsed_s * 1000.0, 1),
+        "sdpst_nodes": first.dpst_node_count,
+        "races": len(first.report),
+        "repair_s": round(result.repair_time_s, 2),
+    })

@@ -1,0 +1,49 @@
+"""Table 3: SRW vs MRW total repair time.
+
+SRW needs (at least) two detector runs — one to repair, one to confirm —
+while MRW repairs in a single run.  The timed phase here is the full SRW
+repair loop; the MRW side reuses the Table 2 artefact (identical
+pipeline).  The paper's headline is mergesort, where MRW's huge trace
+makes its repair several times slower than SRW's two cheap runs.
+"""
+
+import pytest
+
+from repro.bench import get_benchmark
+from repro.lang import strip_finishes
+from repro.races import detect_races
+from repro.repair import repair_program
+
+from conftest import bench_args, collect_row, benchmark_names
+
+
+@pytest.mark.parametrize("name", benchmark_names())
+def test_table3_row(name, benchmark, repair_cache):
+    spec = get_benchmark(name)
+    args = bench_args(spec)
+    buggy = strip_finishes(spec.parse())
+
+    def srw_repair():
+        return repair_program(buggy, args, algorithm="srw")
+
+    srw = benchmark.pedantic(srw_repair, rounds=1, iterations=1)
+    assert srw.converged
+    repair_cache.put(name, "srw", srw)
+    # SRW's repaired program must also be MRW-clean (all races fixed).
+    confirm = detect_races(srw.repaired, args, algorithm="mrw")
+    assert confirm.report.is_race_free
+
+    mrw = repair_cache.get(name, "mrw")
+    collect_row("Table 3", {
+        "benchmark": name,
+        "srw_detect_ms": round(srw.detection_time_s * 1000.0, 1),
+        "mrw_detect_ms": round(mrw.detection_time_s * 1000.0, 1),
+        "srw_repair_s": round(srw.repair_time_s, 2),
+        "mrw_repair_s": round(mrw.repair_time_s, 2),
+        "srw_second_detect_ms": round(
+            srw.final_detection.elapsed_s * 1000.0, 1),
+        "srw_total_s": round(srw.detection_time_s + srw.repair_time_s, 2),
+        "mrw_total_s": round(mrw.detection_time_s + mrw.repair_time_s, 2),
+        "srw_runs": len(srw.iterations) + 1,
+        "mrw_runs": len(mrw.iterations) + 1,
+    })

@@ -1,0 +1,51 @@
+"""Table 4: number of data races detected by SRW vs MRW ESP-bags.
+
+The timed phase is one standalone SRW detection run (the cheapest
+detector); counts come from it and from the cached MRW artefact.  The
+paper's shape: MRW >= SRW everywhere, with large gaps for the
+multiple-unjoined-writers benchmarks (quicksort, mergesort, spanning
+tree) and equality for the one-writer-one-reader ones (fibonacci,
+nqueens, series, sor, crypt, lufact, fannkuch, mandelbrot).
+"""
+
+import pytest
+
+from repro.bench import get_benchmark
+from repro.lang import strip_finishes
+from repro.races import detect_races
+
+from conftest import bench_args, collect_row, benchmark_names
+
+#: benchmarks where the paper's Table 4 shows SRW == MRW
+EQUAL_IN_PAPER = {"fibonacci", "nqueens", "series", "sor", "crypt",
+                  "lufact", "fannkuch", "mandelbrot"}
+#: benchmarks where the paper's Table 4 shows a large MRW excess
+STRICT_IN_PAPER = {"quicksort", "mergesort", "spanningtree"}
+
+
+@pytest.mark.parametrize("name", benchmark_names())
+def test_table4_row(name, benchmark, repair_cache):
+    spec = get_benchmark(name)
+    args = bench_args(spec)
+    buggy = strip_finishes(spec.parse())
+
+    def srw_detection():
+        return detect_races(buggy, args, algorithm="srw")
+
+    srw = benchmark.pedantic(srw_detection, rounds=1, iterations=1)
+    mrw = repair_cache.get(name, "mrw").iterations[0].detection
+
+    srw_count = len(srw.report)
+    mrw_count = len(mrw.report)
+    assert mrw_count >= srw_count
+    assert srw_count > 0
+    if name in STRICT_IN_PAPER:
+        assert mrw_count > srw_count, (name, srw_count, mrw_count)
+
+    collect_row("Table 4", {
+        "benchmark": name,
+        "srw_races": srw_count,
+        "mrw_races": mrw_count,
+        "ratio": round(mrw_count / srw_count, 2),
+        "paper_shape": ("equal" if name in EQUAL_IN_PAPER else "mrw > srw"),
+    })

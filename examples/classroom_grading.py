@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Automated grading of parallel-programming homework (Section 7.4).
+
+The assignment: a quicksort with asyncs but no finishes; students insert
+finish statements so no races remain and parallelism stays maximal.  The
+grader compares each submission against the repair tool's own output:
+still racy, over-synchronized (race-free but longer critical path), or
+matched (race-free and equally parallel).
+
+Run:  python examples/classroom_grading.py
+"""
+
+from repro.bench.students import (
+    ASSIGNMENT,
+    GRADING_INPUTS,
+    Grade,
+    grade_submission,
+    synthesize_population,
+    tool_reference,
+)
+from repro.lang import parse
+from repro.repair import repair_for_inputs
+
+
+def main() -> None:
+    print("The assignment (no finish statements):")
+    kernel = ASSIGNMENT[ASSIGNMENT.index("def quicksort"):]
+    print(kernel)
+
+    print("The grading key is the tool's own repair:")
+    reference = tool_reference(GRADING_INPUTS)
+    result = repair_for_inputs(parse(ASSIGNMENT), GRADING_INPUTS)
+    print(f"  {result.summary()}")
+    print()
+
+    population = synthesize_population()
+    counts = {grade: 0 for grade in Grade}
+    for submission in population:
+        grade = grade_submission(submission.parse(), reference,
+                                 GRADING_INPUTS)
+        counts[grade] += 1
+        if submission.ident <= 6:  # show the first few gradings in detail
+            print(f"submission #{submission.ident:02d} "
+                  f"({submission.description}): {grade.value}")
+    print("...")
+    print()
+    print(f"graded {len(population)} submissions "
+          f"(paper: 59 = 5 racy + 29 over-synchronized + 25 matched):")
+    print(f"  racy               : {counts[Grade.RACY]}")
+    print(f"  over-synchronized  : {counts[Grade.OVER_SYNCHRONIZED]}")
+    print(f"  matched            : {counts[Grade.MATCHED]}")
+
+
+if __name__ == "__main__":
+    main()

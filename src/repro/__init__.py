@@ -1,0 +1,47 @@
+"""Test-driven repair of data races in structured parallel programs.
+
+A faithful, self-contained Python reproduction of the PLDI 2014 paper by
+Surendran, Raman, Chaudhuri, Mellor-Crummey and Sarkar: a mini-HJ
+async/finish language, a sequential instrumented interpreter, S-DPST
+construction, SRW/MRW ESP-bags race detection, and the dynamic + static
+finish-placement algorithms that repair racy programs while maximizing
+parallelism.
+
+Typical use::
+
+    from repro import parse, repair_program
+    result = repair_program(parse(source), args=(1000,))
+    print(result.repaired_source)
+"""
+
+from .lang import (
+    ast,
+    parse,
+    pretty,
+    serial_elision,
+    strip_finishes,
+    validate,
+)
+from .races import detect_races
+from .version import __version__
+
+__all__ = [
+    "ast",
+    "parse",
+    "pretty",
+    "serial_elision",
+    "strip_finishes",
+    "validate",
+    "detect_races",
+    "repair_program",
+    "RepairEngine",
+    "__version__",
+]
+
+
+def __getattr__(name):
+    # Imported lazily to keep `import repro` light and cycle-free.
+    if name in ("repair_program", "RepairEngine"):
+        from .repair import engine
+        return getattr(engine, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,49 @@
+"""Benchmarks, workloads and experiment harnesses (Section 7)."""
+
+from .harness import (
+    figure16,
+    format_rows,
+    repair_benchmark,
+    run_all,
+    students,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+from .programs import SOURCES
+from .students import (
+    ASSIGNMENT,
+    Grade,
+    Submission,
+    grade_submission,
+    run_student_experiment,
+    synthesize_population,
+    tool_reference,
+)
+from .suite import BENCHMARK_ORDER, BENCHMARKS, BenchmarkSpec, all_benchmarks, get_benchmark
+
+__all__ = [
+    "SOURCES",
+    "BENCHMARKS",
+    "BENCHMARK_ORDER",
+    "BenchmarkSpec",
+    "all_benchmarks",
+    "get_benchmark",
+    "repair_benchmark",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "figure16",
+    "students",
+    "run_all",
+    "format_rows",
+    "ASSIGNMENT",
+    "Grade",
+    "Submission",
+    "grade_submission",
+    "synthesize_population",
+    "tool_reference",
+    "run_student_experiment",
+]

@@ -1,0 +1,713 @@
+"""The twelve benchmarks of Table 1, written in mini-HJ.
+
+Each source below is the *original* (expert-written) parallel version:
+async statements express the parallelism and finish statements make it
+race-free.  The evaluation (Section 7.1) strips every finish and lets the
+repair tool re-insert synchronization; these sources are therefore written
+so that
+
+* the finish-ful version has **no data races** for any input (loop
+  variables are always copied into per-iteration locals before being
+  captured by an async, tasks write disjoint cells, reductions go through
+  per-task slots combined after the join), and
+* the finish-less version races exactly where the paper's benchmarks do
+  (task output read before the join, cross-phase neighbour reads, ...).
+
+Substitutions versus the original suites are documented in DESIGN.md; the
+most notable one is Spanning Tree, which uses Boruvka rounds with
+per-chunk reduction slots instead of atomic compare-and-swap (mini-HJ has
+no atomics, and the repair tool targets pure async/finish programs).
+"""
+
+from __future__ import annotations
+
+FIBONACCI = """
+// HJ Bench: Fibonacci -- recursive task parallelism through boxed results.
+struct BoxInteger { v }
+
+def fib(ret, n) {
+    if (n < 2) {
+        ret.v = n;
+        return;
+    }
+    var X = new BoxInteger();
+    var Y = new BoxInteger();
+    finish {
+        async fib(X, n - 1);
+        async fib(Y, n - 2);
+    }
+    ret.v = X.v + Y.v;
+}
+
+def main(n) {
+    var result = new BoxInteger();
+    finish {
+        async fib(result, n);
+    }
+    print("fib", n, "=", result.v);
+}
+"""
+
+QUICKSORT = """
+// HJ Bench: Quicksort -- recursive asyncs over disjoint partitions.
+def partition(A, M, N) {
+    var pivot = A[N];
+    var i = M - 1;
+    for (var j = M; j < N; j = j + 1) {
+        if (A[j] <= pivot) {
+            i = i + 1;
+            var t = A[i];
+            A[i] = A[j];
+            A[j] = t;
+        }
+    }
+    var t2 = A[i + 1];
+    A[i + 1] = A[N];
+    A[N] = t2;
+    return i + 1;
+}
+
+def quicksort(A, M, N) {
+    if (M < N) {
+        var p = partition(A, M, N);
+        async quicksort(A, M, p - 1);
+        async quicksort(A, p + 1, N);
+    }
+}
+
+def main(n) {
+    seed_rand(12001);
+    var A = new int[n];
+    for (var i = 0; i < n; i = i + 1) {
+        A[i] = rand_int(1000000);
+    }
+    finish {
+        quicksort(A, 0, n - 1);
+    }
+    var sorted = true;
+    var checksum = 0;
+    for (var i = 0; i < n; i = i + 1) {
+        if (i > 0 && A[i - 1] > A[i]) {
+            sorted = false;
+        }
+        checksum = (checksum + A[i]) % 1000003;
+    }
+    assert_true(sorted, "quicksort output must be sorted");
+    print("quicksort checksum", checksum);
+}
+"""
+
+MERGESORT = """
+// HJ Bench: Mergesort -- the paper's Figure 1 pattern (finish around the
+// two recursive asyncs, merge afterwards).
+def merge(A, tmp, lo, mid, hi) {
+    var i = lo;
+    var j = mid + 1;
+    var k = lo;
+    while (i <= mid && j <= hi) {
+        if (A[i] <= A[j]) {
+            tmp[k] = A[i];
+            i = i + 1;
+        } else {
+            tmp[k] = A[j];
+            j = j + 1;
+        }
+        k = k + 1;
+    }
+    while (i <= mid) {
+        tmp[k] = A[i];
+        i = i + 1;
+        k = k + 1;
+    }
+    while (j <= hi) {
+        tmp[k] = A[j];
+        j = j + 1;
+        k = k + 1;
+    }
+    for (var t = lo; t <= hi; t = t + 1) {
+        A[t] = tmp[t];
+    }
+}
+
+def mergesort(A, tmp, lo, hi) {
+    if (lo >= hi) {
+        return;
+    }
+    var mid = lo + (hi - lo) / 2;
+    finish {
+        async mergesort(A, tmp, lo, mid);
+        async mergesort(A, tmp, mid + 1, hi);
+    }
+    merge(A, tmp, lo, mid, hi);
+}
+
+def main(n) {
+    seed_rand(12002);
+    var A = new int[n];
+    var tmp = new int[n];
+    for (var i = 0; i < n; i = i + 1) {
+        A[i] = rand_int(1000000);
+    }
+    mergesort(A, tmp, 0, n - 1);
+    var sorted = true;
+    var checksum = 0;
+    for (var i = 0; i < n; i = i + 1) {
+        if (i > 0 && A[i - 1] > A[i]) {
+            sorted = false;
+        }
+        checksum = (checksum + A[i]) % 1000003;
+    }
+    assert_true(sorted, "mergesort output must be sorted");
+    print("mergesort checksum", checksum);
+}
+"""
+
+SPANNING_TREE = """
+// HJ Bench: Spanning Tree (Boruvka variant).  Each round, worker tasks
+// scan disjoint edge chunks and record, per chunk, the lightest edge
+// leaving each component; a sequential pass merges components with a
+// union-find.  Weights are unique, so the run is deterministic.
+def uf_find(parent, x) {
+    var r = x;
+    while (parent[r] != r) {
+        r = parent[r];
+    }
+    while (parent[x] != r) {
+        var nxt = parent[x];
+        parent[x] = r;
+        x = nxt;
+    }
+    return r;
+}
+
+def scan_chunk(eu, ev, ew, comp, best, nodes, lo, hi) {
+    for (var e = lo; e < hi; e = e + 1) {
+        var cu = comp[eu[e]];
+        var cv = comp[ev[e]];
+        if (cu != cv) {
+            if (best[cu] == -1 || ew[e] < ew[best[cu]]) {
+                best[cu] = e;
+            }
+            if (best[cv] == -1 || ew[e] < ew[best[cv]]) {
+                best[cv] = e;
+            }
+        }
+    }
+}
+
+def main(nodes, degree, chunks) {
+    seed_rand(12003);
+    var nedges = nodes * degree / 2;
+    var eu = new int[nedges];
+    var ev = new int[nedges];
+    var ew = new int[nedges];
+    for (var e = 0; e < nedges; e = e + 1) {
+        // A ring plus random chords keeps the graph connected.
+        if (e < nodes) {
+            eu[e] = e % nodes;
+            ev[e] = (e + 1) % nodes;
+        } else {
+            eu[e] = rand_int(nodes);
+            ev[e] = rand_int(nodes);
+        }
+        ew[e] = rand_int(1000) * nedges + e;  // unique weights
+    }
+    var parent = new int[nodes];
+    var comp = new int[nodes];
+    for (var i = 0; i < nodes; i = i + 1) {
+        parent[i] = i;
+        comp[i] = i;
+    }
+    var bests = new int[chunks][nodes];
+    var ncomp = nodes;
+    var tree_weight = 0;
+    var tree_edges = 0;
+    while (ncomp > 1) {
+        for (var c = 0; c < chunks; c = c + 1) {
+            for (var i = 0; i < nodes; i = i + 1) {
+                bests[c][i] = -1;
+            }
+        }
+        var per = (nedges + chunks - 1) / chunks;
+        finish {
+            for (var c = 0; c < chunks; c = c + 1) {
+                var lo = c * per;
+                var hi = min(lo + per, nedges);
+                var slot = bests[c];
+                async scan_chunk(eu, ev, ew, comp, slot, nodes, lo, hi);
+            }
+        }
+        // Sequential reduction + union.
+        var merged = 0;
+        for (var i = 0; i < nodes; i = i + 1) {
+            var bst = -1;
+            for (var c = 0; c < chunks; c = c + 1) {
+                var cand = bests[c][i];
+                if (cand != -1 && (bst == -1 || ew[cand] < ew[bst])) {
+                    bst = cand;
+                }
+            }
+            if (bst != -1) {
+                var ru = uf_find(parent, eu[bst]);
+                var rv = uf_find(parent, ev[bst]);
+                if (ru != rv) {
+                    parent[ru] = rv;
+                    tree_weight = (tree_weight + ew[bst]) % 1000003;
+                    tree_edges = tree_edges + 1;
+                    merged = merged + 1;
+                }
+            }
+        }
+        if (merged == 0) {
+            break;
+        }
+        ncomp = ncomp - merged;
+        for (var i = 0; i < nodes; i = i + 1) {
+            comp[i] = uf_find(parent, i);
+        }
+    }
+    assert_true(tree_edges == nodes - 1, "spanning tree must span all nodes");
+    print("spanning tree edges", tree_edges, "weight", tree_weight);
+}
+"""
+
+NQUEENS = """
+// BOTS: NQueens -- each placement spawns a task; counts come back through
+// per-child slots summed after the join.
+def safe(board, row, col) {
+    for (var r = 0; r < row; r = r + 1) {
+        var c = board[r];
+        if (c == col || c - (row - r) == col || c + (row - r) == col) {
+            return false;
+        }
+    }
+    return true;
+}
+
+def count_queens(n, row, board, out, slot) {
+    if (row == n) {
+        out[slot] = 1;
+        return;
+    }
+    var counts = new int[n];
+    finish {
+        for (var col = 0; col < n; col = col + 1) {
+            if (safe(board, row, col)) {
+                var nb = new int[n];
+                for (var r = 0; r < row; r = r + 1) {
+                    nb[r] = board[r];
+                }
+                nb[row] = col;
+                var cc = col;
+                async count_queens(n, row + 1, nb, counts, cc);
+            }
+        }
+    }
+    var total = 0;
+    for (var col = 0; col < n; col = col + 1) {
+        total = total + counts[col];
+    }
+    out[slot] = total;
+}
+
+def main(n) {
+    var result = new int[1];
+    var board = new int[n];
+    count_queens(n, 0, board, result, 0);
+    print("nqueens(", n, ") =", result[0]);
+}
+"""
+
+SERIES = """
+// JGF: Series -- Fourier coefficients of f(x) = (x+1)^x approximated by
+// the trapezoid rule; one task per coefficient pair.
+def coefficient(a, b, k, points) {
+    var sa = 0.0;
+    var sb = 0.0;
+    var pi = 3.141592653589793;
+    for (var i = 0; i < points; i = i + 1) {
+        var x = (i + 0.5) / points;
+        var fx = exp(x * log(x + 1.0));
+        sa = sa + fx * cos(2.0 * pi * k * x);
+        sb = sb + fx * sin(2.0 * pi * k * x);
+    }
+    a[k] = sa * 2.0 / points;
+    b[k] = sb * 2.0 / points;
+}
+
+def main(rows, points) {
+    var a = new double[rows];
+    var b = new double[rows];
+    finish {
+        for (var k = 0; k < rows; k = k + 1) {
+            var kk = k;
+            async coefficient(a, b, kk, points);
+        }
+    }
+    var checksum = 0.0;
+    for (var k = 0; k < rows; k = k + 1) {
+        checksum = checksum + abs(a[k]) + abs(b[k]);
+    }
+    print("series checksum", to_int(checksum * 1000.0));
+}
+"""
+
+SOR = """
+// JGF: SOR -- red-black successive over-relaxation; one finish per color
+// phase, tasks own disjoint row chunks.
+def sweep_rows(G, n, omega, parity, lo, hi) {
+    for (var i = lo; i < hi; i = i + 1) {
+        if (i % 2 == parity && i > 0 && i < n - 1) {
+            var row = G[i];
+            var up = G[i - 1];
+            var down = G[i + 1];
+            for (var j = 1; j < n - 1; j = j + 1) {
+                row[j] = omega * 0.25 * (up[j] + down[j] + row[j - 1]
+                    + row[j + 1]) + (1.0 - omega) * row[j];
+            }
+        }
+    }
+}
+
+def main(n, iters, chunks) {
+    seed_rand(12007);
+    var G = new double[n][n];
+    for (var i = 0; i < n; i = i + 1) {
+        for (var j = 0; j < n; j = j + 1) {
+            G[i][j] = rand_double();
+        }
+    }
+    var omega = 1.25;
+    var per = (n + chunks - 1) / chunks;
+    for (var it = 0; it < iters; it = it + 1) {
+        for (var parity = 0; parity < 2; parity = parity + 1) {
+            finish {
+                for (var c = 0; c < chunks; c = c + 1) {
+                    var lo = c * per;
+                    var hi = min(lo + per, n);
+                    var pp = parity;
+                    async sweep_rows(G, n, omega, pp, lo, hi);
+                }
+            }
+        }
+    }
+    var checksum = 0.0;
+    for (var i = 0; i < n; i = i + 1) {
+        for (var j = 0; j < n; j = j + 1) {
+            checksum = checksum + G[i][j];
+        }
+    }
+    print("sor checksum", to_int(checksum * 1000.0));
+}
+"""
+
+CRYPT = """
+// JGF: Crypt -- IDEA-style block transform: multiply mod 2^16+1, add mod
+// 2^16, xor; encrypt and decrypt phases each fan out over data chunks and
+// the result is verified against the plaintext.
+def mul16(a, b) {
+    return (a + 1) * (b + 1) % 65537 - 1;
+}
+
+def modpow(base, e, m) {
+    var result = 1;
+    var acc = base % m;
+    var left = e;
+    while (left > 0) {
+        if (left % 2 == 1) {
+            result = result * acc % m;
+        }
+        acc = acc * acc % m;
+        left = left / 2;
+    }
+    return result;
+}
+
+def encrypt_chunk(data, out, mk, ak, xk, rounds, lo, hi) {
+    for (var i = lo; i < hi; i = i + 1) {
+        var x = data[i];
+        for (var r = 0; r < rounds; r = r + 1) {
+            x = mul16(x, mk[r]);
+            x = (x + ak[r]) % 65536;
+            x = x ^ xk[r];
+        }
+        out[i] = x;
+    }
+}
+
+def decrypt_chunk(data, out, imk, iak, xk, rounds, lo, hi) {
+    for (var i = lo; i < hi; i = i + 1) {
+        var x = data[i];
+        for (var r = rounds - 1; r >= 0; r = r - 1) {
+            x = x ^ xk[r];
+            x = (x + iak[r]) % 65536;
+            x = mul16(x, imk[r]);
+        }
+        out[i] = x;
+    }
+}
+
+def main(n, chunks) {
+    seed_rand(12008);
+    var rounds = 8;
+    var mk = new int[rounds];
+    var ak = new int[rounds];
+    var xk = new int[rounds];
+    var imk = new int[rounds];
+    var iak = new int[rounds];
+    for (var r = 0; r < rounds; r = r + 1) {
+        mk[r] = rand_int(65535);
+        ak[r] = rand_int(65536);
+        xk[r] = rand_int(65536);
+        imk[r] = modpow(mk[r] + 1, 65535, 65537) - 1;
+        iak[r] = (65536 - ak[r]) % 65536;
+    }
+    var data = new int[n];
+    var ct = new int[n];
+    var pt = new int[n];
+    for (var i = 0; i < n; i = i + 1) {
+        data[i] = rand_int(65536);
+    }
+    var per = (n + chunks - 1) / chunks;
+    finish {
+        for (var c = 0; c < chunks; c = c + 1) {
+            var lo = c * per;
+            var hi = min(lo + per, n);
+            async encrypt_chunk(data, ct, mk, ak, xk, rounds, lo, hi);
+        }
+    }
+    finish {
+        for (var c = 0; c < chunks; c = c + 1) {
+            var lo = c * per;
+            var hi = min(lo + per, n);
+            async decrypt_chunk(ct, pt, imk, iak, xk, rounds, lo, hi);
+        }
+    }
+    var ok = true;
+    var checksum = 0;
+    for (var i = 0; i < n; i = i + 1) {
+        if (pt[i] != data[i]) {
+            ok = false;
+        }
+        checksum = (checksum + ct[i]) % 1000003;
+    }
+    assert_true(ok, "decrypt(encrypt(x)) must equal x");
+    print("crypt checksum", checksum);
+}
+"""
+
+SPARSE = """
+// JGF: Sparse -- sparse matrix-vector product in compressed row storage;
+// tasks own disjoint row chunks of the output vector.
+def spmv_rows(val, col, nnz, x, y, lo, hi) {
+    for (var i = lo; i < hi; i = i + 1) {
+        var sum = 0.0;
+        for (var k = 0; k < nnz; k = k + 1) {
+            sum = sum + val[i * nnz + k] * x[col[i * nnz + k]];
+        }
+        y[i] = sum;
+    }
+}
+
+def main(n, nnz, chunks) {
+    seed_rand(12009);
+    var val = new double[n * nnz];
+    var col = new int[n * nnz];
+    var x = new double[n];
+    var y = new double[n];
+    for (var i = 0; i < n; i = i + 1) {
+        x[i] = rand_double();
+        for (var k = 0; k < nnz; k = k + 1) {
+            val[i * nnz + k] = rand_double();
+            col[i * nnz + k] = rand_int(n);
+        }
+    }
+    var per = (n + chunks - 1) / chunks;
+    finish {
+        for (var c = 0; c < chunks; c = c + 1) {
+            var lo = c * per;
+            var hi = min(lo + per, n);
+            async spmv_rows(val, col, nnz, x, y, lo, hi);
+        }
+    }
+    var checksum = 0.0;
+    for (var i = 0; i < n; i = i + 1) {
+        checksum = checksum + y[i];
+    }
+    print("sparse checksum", to_int(checksum * 1000.0));
+}
+"""
+
+LUFACT = """
+// JGF: LUFact -- in-place LU factorization of a diagonally dominant
+// matrix (no pivoting needed); each elimination step fans the remaining
+// rows out over tasks.
+def eliminate_rows(M, n, k, lo, hi) {
+    var pivot_row = M[k];
+    for (var i = lo; i < hi; i = i + 1) {
+        var row = M[i];
+        var f = row[k] / pivot_row[k];
+        row[k] = f;
+        for (var j = k + 1; j < n; j = j + 1) {
+            row[j] = row[j] - f * pivot_row[j];
+        }
+    }
+}
+
+def main(n, chunks) {
+    seed_rand(12010);
+    var M = new double[n][n];
+    for (var i = 0; i < n; i = i + 1) {
+        for (var j = 0; j < n; j = j + 1) {
+            M[i][j] = rand_double();
+        }
+        M[i][i] = M[i][i] + n;  // diagonal dominance
+    }
+    for (var k = 0; k < n - 1; k = k + 1) {
+        var rows = n - k - 1;
+        var nch = min(chunks, rows);
+        var per = (rows + nch - 1) / nch;
+        finish {
+            for (var c = 0; c < nch; c = c + 1) {
+                var lo = k + 1 + c * per;
+                var hi = min(lo + per, n);
+                var kk = k;
+                async eliminate_rows(M, n, kk, lo, hi);
+            }
+        }
+    }
+    var det_log = 0.0;
+    for (var i = 0; i < n; i = i + 1) {
+        det_log = det_log + log(abs(M[i][i]));
+    }
+    print("lufact log|det|", to_int(det_log * 1000.0));
+}
+"""
+
+FANNKUCH = """
+// Shootout: FannKuch -- max pancake flips over all permutations; the
+// permutation space is partitioned by first element, one task each.
+struct BoxInteger { v }
+
+def count_flips(perm, n) {
+    var work = new int[n];
+    for (var i = 0; i < n; i = i + 1) {
+        work[i] = perm[i];
+    }
+    var flips = 0;
+    while (work[0] != 0) {
+        var k = work[0];
+        var i = 0;
+        var j = k;
+        while (i < j) {
+            var t = work[i];
+            work[i] = work[j];
+            work[j] = t;
+            i = i + 1;
+            j = j - 1;
+        }
+        flips = flips + 1;
+    }
+    return flips;
+}
+
+def fk_rec(perm, used, depth, n, best) {
+    if (depth == n) {
+        var f = count_flips(perm, n);
+        if (f > best.v) {
+            best.v = f;
+        }
+        return;
+    }
+    for (var v = 0; v < n; v = v + 1) {
+        if (used[v] == 0) {
+            used[v] = 1;
+            perm[depth] = v;
+            fk_rec(perm, used, depth + 1, n, best);
+            used[v] = 0;
+        }
+    }
+}
+
+def fk_task(n, first, results) {
+    var perm = new int[n];
+    var used = new int[n];
+    var best = new BoxInteger();
+    best.v = 0;
+    perm[0] = first;
+    used[first] = 1;
+    fk_rec(perm, used, 1, n, best);
+    results[first] = best.v;
+}
+
+def main(n) {
+    var results = new int[n];
+    finish {
+        for (var first = 0; first < n; first = first + 1) {
+            var ff = first;
+            async fk_task(n, ff, results);
+        }
+    }
+    var best = 0;
+    for (var first = 0; first < n; first = first + 1) {
+        best = max(best, results[first]);
+    }
+    print("fannkuch(", n, ") =", best);
+}
+"""
+
+MANDELBROT = """
+// Shootout: Mandelbrot -- one task per scanline of the escape-time grid.
+def mandel_row(counts, y, size, max_iter) {
+    var ci = 2.0 * y / size - 1.0;
+    for (var x = 0; x < size; x = x + 1) {
+        var cr = 2.0 * x / size - 1.5;
+        var zr = 0.0;
+        var zi = 0.0;
+        var it = 0;
+        var live = true;
+        while (live && it < max_iter) {
+            var nzr = zr * zr - zi * zi + cr;
+            var nzi = 2.0 * zr * zi + ci;
+            zr = nzr;
+            zi = nzi;
+            if (zr * zr + zi * zi > 4.0) {
+                live = false;
+            }
+            it = it + 1;
+        }
+        counts[y * size + x] = it;
+    }
+}
+
+def main(size, max_iter) {
+    var counts = new int[size * size];
+    finish {
+        for (var y = 0; y < size; y = y + 1) {
+            var yy = y;
+            async mandel_row(counts, yy, size, max_iter);
+        }
+    }
+    var checksum = 0;
+    for (var i = 0; i < size * size; i = i + 1) {
+        checksum = (checksum + counts[i]) % 1000003;
+    }
+    print("mandelbrot checksum", checksum);
+}
+"""
+
+#: name -> mini-HJ source of the original (race-free) benchmark.
+SOURCES = {
+    "fibonacci": FIBONACCI,
+    "quicksort": QUICKSORT,
+    "mergesort": MERGESORT,
+    "spanningtree": SPANNING_TREE,
+    "nqueens": NQUEENS,
+    "series": SERIES,
+    "sor": SOR,
+    "crypt": CRYPT,
+    "sparse": SPARSE,
+    "lufact": LUFACT,
+    "fannkuch": FANNKUCH,
+    "mandelbrot": MANDELBROT,
+}

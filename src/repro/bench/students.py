@@ -1,0 +1,350 @@
+"""The student-homework experiment (Section 7.4).
+
+The paper's assignment: given a parallel quicksort containing async
+statements but no finish statements, insert finish statements that remove
+all data races while keeping maximal parallelism.  Out of 59 submissions,
+5 still had races, 29 were over-synchronized, and 25 matched the tool.
+
+We reproduce the *grader*: a submission is
+
+* ``RACY`` if the detector still finds races on the test input;
+* ``OVER_SYNCHRONIZED`` if it is race-free but its critical path length
+  exceeds the tool-repaired reference (reduced parallelism);
+* ``MATCHED`` if it is race-free with the reference's CPL (equally
+  parallel — the tool's own placement or an equivalent one).
+
+The population is synthetic (we have no access to the original
+submissions): variant templates of the assignment reflecting the common
+mistakes, sampled to the paper's class sizes.  The distribution is an
+*input* to this experiment; the classifier is what is being reproduced.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Sequence, Tuple
+
+from ..graph import measure_program
+from ..lang import ast, parse
+from ..races import detect_races
+from ..repair import repair_for_inputs
+from ..runtime.builtins import DeterministicRng
+
+_COMMON = """
+def partition(A, M, N) {
+    var pivot = A[N];
+    var i = M - 1;
+    for (var j = M; j < N; j = j + 1) {
+        if (A[j] <= pivot) {
+            i = i + 1;
+            var t = A[i];
+            A[i] = A[j];
+            A[j] = t;
+        }
+    }
+    var t2 = A[i + 1];
+    A[i + 1] = A[N];
+    A[N] = t2;
+    return i + 1;
+}
+
+def main(n) {
+    seed_rand(74001);
+    var A = new int[n];
+    for (var i = 0; i < n; i = i + 1) {
+        A[i] = rand_int(100000);
+    }
+    %MAIN_CALL%
+    var sorted = true;
+    for (var i = 1; i < n; i = i + 1) {
+        if (A[i - 1] > A[i]) {
+            sorted = false;
+        }
+    }
+    print(sorted);
+}
+"""
+
+
+def _assemble(quicksort_body: str, main_call: str) -> str:
+    return (_COMMON.replace("%MAIN_CALL%", main_call)
+            + "\n" + quicksort_body)
+
+
+#: The handout: asyncs present, no finish anywhere.
+ASSIGNMENT = _assemble(
+    """
+def quicksort(A, M, N) {
+    if (M < N) {
+        var p = partition(A, M, N);
+        async quicksort(A, M, p - 1);
+        async quicksort(A, p + 1, N);
+    }
+}
+""",
+    "quicksort(A, 0, n - 1);")
+
+
+# ----------------------------------------------------------------------
+# Submission templates
+# ----------------------------------------------------------------------
+
+#: Race-free with maximal parallelism: the tool's placement and
+#: equivalent alternatives.
+MATCHED_TEMPLATES: List[Tuple[str, str]] = [
+    ("finish around the two recursive asyncs (the tool's output)", _assemble(
+        """
+def quicksort(A, M, N) {
+    if (M < N) {
+        var p = partition(A, M, N);
+        finish {
+            async quicksort(A, M, p - 1);
+            async quicksort(A, p + 1, N);
+        }
+    }
+}
+""", "quicksort(A, 0, n - 1);")),
+    ("single finish around the top-level call (the paper's line 11)",
+     _assemble(
+        """
+def quicksort(A, M, N) {
+    if (M < N) {
+        var p = partition(A, M, N);
+        async quicksort(A, M, p - 1);
+        async quicksort(A, p + 1, N);
+    }
+}
+""", "finish { quicksort(A, 0, n - 1); }")),
+    ("finish around partition and both asyncs", _assemble(
+        """
+def quicksort(A, M, N) {
+    if (M < N) {
+        finish {
+            var p = partition(A, M, N);
+            async quicksort(A, M, p - 1);
+            async quicksort(A, p + 1, N);
+        }
+    }
+}
+""", "quicksort(A, 0, n - 1);")),
+    ("join only the second async, everything joined again in main",
+     _assemble(
+        """
+def quicksort(A, M, N) {
+    if (M < N) {
+        var p = partition(A, M, N);
+        async quicksort(A, M, p - 1);
+        finish {
+            async quicksort(A, p + 1, N);
+        }
+    }
+}
+""", "finish { quicksort(A, 0, n - 1); }")),
+]
+
+#: Race-free but with reduced parallelism.
+OVERSYNC_TEMPLATES: List[Tuple[str, str]] = [
+    ("each async in its own finish (fully serial)", _assemble(
+        """
+def quicksort(A, M, N) {
+    if (M < N) {
+        var p = partition(A, M, N);
+        finish {
+            async quicksort(A, M, p - 1);
+        }
+        finish {
+            async quicksort(A, p + 1, N);
+        }
+    }
+}
+""", "quicksort(A, 0, n - 1);")),
+    ("first async serialized before the second", _assemble(
+        """
+def quicksort(A, M, N) {
+    if (M < N) {
+        var p = partition(A, M, N);
+        finish {
+            async quicksort(A, M, p - 1);
+        }
+        async quicksort(A, p + 1, N);
+    }
+}
+""", "finish { quicksort(A, 0, n - 1); }")),
+    ("nested finishes serializing both asyncs", _assemble(
+        """
+def quicksort(A, M, N) {
+    if (M < N) {
+        var p = partition(A, M, N);
+        finish {
+            finish {
+                async quicksort(A, M, p - 1);
+            }
+            async quicksort(A, p + 1, N);
+        }
+    }
+}
+""", "quicksort(A, 0, n - 1);")),
+]
+
+#: Still racy: missing or misplaced finishes.
+RACY_TEMPLATES: List[Tuple[str, str]] = [
+    ("no finish at all", ASSIGNMENT),
+    ("finish around only the first async", _assemble(
+        """
+def quicksort(A, M, N) {
+    if (M < N) {
+        var p = partition(A, M, N);
+        finish {
+            async quicksort(A, M, p - 1);
+        }
+        async quicksort(A, p + 1, N);
+    }
+}
+""", "quicksort(A, 0, n - 1);")),
+    ("finish around only the second async", _assemble(
+        """
+def quicksort(A, M, N) {
+    if (M < N) {
+        var p = partition(A, M, N);
+        async quicksort(A, M, p - 1);
+        finish {
+            async quicksort(A, p + 1, N);
+        }
+    }
+}
+""", "quicksort(A, 0, n - 1);")),
+    ("finish around the partition call only", _assemble(
+        """
+def quicksort(A, M, N) {
+    if (M < N) {
+        var p = 0;
+        finish {
+            p = partition(A, M, N);
+        }
+        async quicksort(A, M, p - 1);
+        async quicksort(A, p + 1, N);
+    }
+}
+""", "quicksort(A, 0, n - 1);")),
+    ("finish inside the async bodies (no join at the call site)", _assemble(
+        """
+def quicksort(A, M, N) {
+    if (M < N) {
+        var p = partition(A, M, N);
+        async {
+            finish {
+                quicksort(A, M, p - 1);
+            }
+        }
+        async {
+            finish {
+                quicksort(A, p + 1, N);
+            }
+        }
+    }
+}
+""", "quicksort(A, 0, n - 1);")),
+]
+
+
+class Grade(enum.Enum):
+    RACY = "racy"
+    OVER_SYNCHRONIZED = "over-synchronized"
+    MATCHED = "matched"
+
+
+class Submission:
+    """One (synthetic) student submission."""
+
+    def __init__(self, ident: int, kind: Grade, description: str,
+                 source: str) -> None:
+        self.ident = ident
+        self.expected = kind
+        self.description = description
+        self.source = source
+
+    def parse(self) -> ast.Program:
+        return parse(self.source, source_name=f"submission-{self.ident}")
+
+
+#: Default grading inputs.  Several inputs keep the reference honest: a
+#: single test case can be repaired by an input-specific placement (e.g.
+#: a finish joining only the right recursion when the left happens to be
+#: empty for that array), which would be a misleading grading key.
+GRADING_INPUTS: Tuple[Tuple[int, ...], ...] = ((40,), (60,), (75,))
+
+#: Relative tolerance when comparing critical path lengths: spawn ticks
+#: and block nesting differ by a few cost units between textually
+#: different but equally parallel placements.
+SPAN_TOLERANCE = 0.02
+
+
+def tool_reference(
+        inputs: Sequence[Sequence[int]] = GRADING_INPUTS) -> ast.Program:
+    """The repair tool's own output on the assignment (the grading key),
+    repaired iteratively over all grading inputs (Section 2)."""
+    return repair_for_inputs(parse(ASSIGNMENT), inputs).repaired
+
+
+def grade_submission(program: ast.Program, reference: ast.Program,
+                     inputs: Sequence[Sequence[int]] = GRADING_INPUTS
+                     ) -> Grade:
+    """Grade one submission against the tool's repair (see module doc)."""
+    for args in inputs:
+        detection = detect_races(program, args)
+        if not detection.report.is_race_free:
+            return Grade.RACY
+    args = inputs[-1]
+    span_sub = measure_program(program, args).span
+    span_ref = measure_program(reference, args).span
+    if span_sub > span_ref * (1.0 + SPAN_TOLERANCE):
+        return Grade.OVER_SYNCHRONIZED
+    return Grade.MATCHED
+
+
+def synthesize_population(racy: int = 5, oversync: int = 29,
+                          matched: int = 25,
+                          seed: int = 59) -> List[Submission]:
+    """A deterministic population with the paper's class sizes (5/29/25),
+    sampled from the variant templates and shuffled."""
+    rng = DeterministicRng(seed)
+    submissions: List[Submission] = []
+
+    def draw(count: int, kind: Grade,
+             templates: List[Tuple[str, str]]) -> None:
+        for _ in range(count):
+            desc, source = templates[rng.next_int(len(templates))]
+            submissions.append(Submission(0, kind, desc, source))
+
+    draw(racy, Grade.RACY, RACY_TEMPLATES)
+    draw(oversync, Grade.OVER_SYNCHRONIZED, OVERSYNC_TEMPLATES)
+    draw(matched, Grade.MATCHED, MATCHED_TEMPLATES)
+    # Fisher-Yates shuffle with the deterministic RNG.
+    for i in range(len(submissions) - 1, 0, -1):
+        j = rng.next_int(i + 1)
+        submissions[i], submissions[j] = submissions[j], submissions[i]
+    for ident, sub in enumerate(submissions, start=1):
+        sub.ident = ident
+    return submissions
+
+
+def run_student_experiment(
+        inputs: Sequence[Sequence[int]] = GRADING_INPUTS,
+        seed: int = 59) -> dict:
+    """Grade the synthetic population; returns per-class counts."""
+    reference = tool_reference(inputs)
+    counts = {grade: 0 for grade in Grade}
+    mismatches = []
+    for sub in synthesize_population(seed=seed):
+        grade = grade_submission(sub.parse(), reference, inputs)
+        counts[grade] += 1
+        if grade is not sub.expected:
+            mismatches.append((sub.ident, sub.expected, grade,
+                               sub.description))
+    return {
+        "total": sum(counts.values()),
+        "racy": counts[Grade.RACY],
+        "over_synchronized": counts[Grade.OVER_SYNCHRONIZED],
+        "matched": counts[Grade.MATCHED],
+        "mismatches": mismatches,
+    }

@@ -1,0 +1,123 @@
+"""Benchmark registry: Table 1 of the paper, with this reproduction's
+input sizes.
+
+The *repair* sizes are the paper's (column 4 of Table 1).  The
+*performance* sizes are scaled down from the paper's column 5: the paper
+measures wall-clock on a 12-core JVM, while we measure simulated time
+units on the computation graph of an interpreted execution, so only the
+DAG shape matters — each scaled input preserves the benchmark's asymptotic
+structure at a few million interpreter operations.  The *test* sizes are
+tiny inputs for the unit/integration suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..lang import ast, parse
+from .programs import SOURCES
+
+
+class BenchmarkSpec:
+    """One benchmark: its source and canonical input sizes."""
+
+    def __init__(self, name: str, suite: str, description: str,
+                 repair_args: Tuple, perf_args: Tuple, test_args: Tuple,
+                 paper_repair_input: str, paper_perf_input: str) -> None:
+        self.name = name
+        self.suite = suite
+        self.description = description
+        self.repair_args = repair_args
+        self.perf_args = perf_args
+        self.test_args = test_args
+        #: the paper's Table 1 wording for the two input-size columns
+        self.paper_repair_input = paper_repair_input
+        self.paper_perf_input = paper_perf_input
+
+    @property
+    def source(self) -> str:
+        return SOURCES[self.name]
+
+    def parse(self) -> ast.Program:
+        """A fresh AST of the original (race-free) benchmark."""
+        return parse(self.source, source_name=self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BenchmarkSpec({self.name})"
+
+
+_SPECS = [
+    BenchmarkSpec(
+        "fibonacci", "HJ Bench", "Compute nth Fibonacci number",
+        repair_args=(16,), perf_args=(21,), test_args=(8,),
+        paper_repair_input="16", paper_perf_input="40"),
+    BenchmarkSpec(
+        "quicksort", "HJ Bench", "Quicksort",
+        repair_args=(1000,), perf_args=(6000,), test_args=(30,),
+        paper_repair_input="1,000", paper_perf_input="100,000,000"),
+    BenchmarkSpec(
+        "mergesort", "HJ Bench", "Mergesort",
+        repair_args=(1000,), perf_args=(6000,), test_args=(30,),
+        paper_repair_input="1,000", paper_perf_input="100,000,000"),
+    BenchmarkSpec(
+        "spanningtree", "HJ Bench",
+        "Compute spanning tree of an undirected graph",
+        repair_args=(200, 4, 8), perf_args=(1200, 6, 16),
+        test_args=(24, 4, 3),
+        paper_repair_input="nodes = 200, neighbors = 4",
+        paper_perf_input="nodes = 1,000,000, neighbors = 100"),
+    BenchmarkSpec(
+        "nqueens", "BOTS", "N Queens problem",
+        repair_args=(6,), perf_args=(8,), test_args=(5,),
+        paper_repair_input="6", paper_perf_input="13"),
+    BenchmarkSpec(
+        "series", "JGF", "Fourier coefficient analysis",
+        repair_args=(25, 60), perf_args=(300, 120), test_args=(6, 10),
+        paper_repair_input="rows = 25", paper_perf_input="rows = 100,000"),
+    BenchmarkSpec(
+        "sor", "JGF", "Successive over-relaxation",
+        repair_args=(100, 1, 8), perf_args=(160, 6, 12),
+        test_args=(12, 1, 2),
+        paper_repair_input="size = 100, iters = 1",
+        paper_perf_input="size = 6,000, iters = 100"),
+    BenchmarkSpec(
+        "crypt", "JGF", "IDEA encryption",
+        repair_args=(3000, 8), perf_args=(12000, 12), test_args=(64, 4),
+        paper_repair_input="3,000", paper_perf_input="50,000,000"),
+    BenchmarkSpec(
+        "sparse", "JGF", "Sparse matrix multiplication",
+        repair_args=(100, 5, 8), perf_args=(4000, 5, 12),
+        test_args=(16, 3, 2),
+        paper_repair_input="100", paper_perf_input="2,500,000"),
+    BenchmarkSpec(
+        "lufact", "JGF", "LU Factorization",
+        repair_args=(25, 4), perf_args=(90, 12), test_args=(8, 2),
+        paper_repair_input="25 x 25", paper_perf_input="1000 x 1000"),
+    BenchmarkSpec(
+        "fannkuch", "Shootout", "Indexed-access to tiny integer-sequence",
+        repair_args=(6,), perf_args=(8,), test_args=(5,),
+        paper_repair_input="6", paper_perf_input="12"),
+    BenchmarkSpec(
+        "mandelbrot", "Shootout", "Generate Mandelbrot set portable bitmap",
+        repair_args=(50, 30), perf_args=(220, 40), test_args=(10, 8),
+        paper_repair_input="50", paper_perf_input="10,000"),
+]
+
+BENCHMARKS: Dict[str, BenchmarkSpec] = {spec.name: spec for spec in _SPECS}
+
+BENCHMARK_ORDER = [spec.name for spec in _SPECS]
+
+
+def get_benchmark(name: str) -> BenchmarkSpec:
+    """Look up a benchmark by name; raises KeyError with suggestions."""
+    spec = BENCHMARKS.get(name)
+    if spec is None:
+        known = ", ".join(BENCHMARK_ORDER)
+        raise KeyError(f"unknown benchmark {name!r}; known: {known}")
+    return spec
+
+
+def all_benchmarks(subset: Optional[Sequence[str]] = None):
+    """All specs in Table 1 order (optionally a named subset)."""
+    names = BENCHMARK_ORDER if subset is None else list(subset)
+    return [get_benchmark(name) for name in names]

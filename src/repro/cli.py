@@ -1,0 +1,256 @@
+"""Command-line interface for the repair tool.
+
+Mirrors the three-step usage of the paper's artifact (Appendix A):
+instrument & execute (``detect``), analyze & repair (``repair``), and a
+``measure`` command for the performance analysis, plus ``bench`` to
+regenerate the paper's tables and figures.
+
+Examples::
+
+    repro-repair detect program.hj --arg 100
+    repro-repair repair program.hj --arg 100 -o repaired.hj
+    repro-repair measure repaired.hj --arg 1000 --processors 12
+    repro-repair bench --quick --experiments table4 students
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Sequence
+
+from .bench import harness
+from .errors import ReproError
+from .graph import measure_program
+from .lang import parse, serial_elision, strip_finishes, validate
+from .races import detect_races
+from .repair import repair_program
+from .runtime import BUILTIN_NAMES
+
+
+def _parse_arg(text: str) -> Any:
+    for caster in (int, float):
+        try:
+            return caster(text)
+        except ValueError:
+            continue
+    if text in ("true", "false"):
+        return text == "true"
+    return text
+
+
+def _load_program(path: str):
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    program = parse(source, source_name=path)
+    validate(program, BUILTIN_NAMES)
+    return program
+
+
+def _cmd_detect(options: argparse.Namespace) -> int:
+    program = _load_program(options.file)
+    if options.strip_finishes:
+        program = strip_finishes(program)
+    args = [_parse_arg(a) for a in options.arg]
+    result = detect_races(program, args, algorithm=options.algorithm)
+    print(f"executed {result.execution.ops} operations; "
+          f"S-DPST has {result.dpst_node_count} nodes")
+    print(result.report.summary())
+    limit = options.limit
+    for race in list(result.report)[:limit]:
+        print("  " + race.describe())
+    if len(result.report) > limit:
+        print(f"  ... and {len(result.report) - limit} more")
+    return 0 if result.report.is_race_free else 1
+
+
+def _cmd_repair(options: argparse.Namespace) -> int:
+    program = _load_program(options.file)
+    if options.strip_finishes:
+        program = strip_finishes(program)
+    args = [_parse_arg(a) for a in options.arg]
+    result = repair_program(program, args, algorithm=options.algorithm,
+                            max_iterations=options.max_iterations)
+    print(result.summary(), file=sys.stderr)
+    for iteration in result.iterations:
+        print(f"  iteration {iteration.index}: "
+              f"{iteration.race_count} race(s), "
+              f"{len(iteration.edits)} finish placement(s), "
+              f"detection {iteration.detection.elapsed_s * 1000:.1f} ms, "
+              f"placement {iteration.placement_time_s * 1000:.1f} ms",
+              file=sys.stderr)
+    source = result.repaired_source
+    if options.output:
+        with open(options.output, "w", encoding="utf-8") as handle:
+            handle.write(source)
+        print(f"wrote repaired program to {options.output}", file=sys.stderr)
+    else:
+        print(source)
+    return 0 if result.converged else 1
+
+
+def _cmd_measure(options: argparse.Namespace) -> int:
+    program = _load_program(options.file)
+    args = [_parse_arg(a) for a in options.arg]
+    if options.sequential:
+        program = serial_elision(program)
+    result = measure_program(program, args, processors=options.processors)
+    print(f"T1   (work)            = {result.work}")
+    print(f"Tinf (critical path)   = {result.span}")
+    print(f"T{options.processors}  (greedy schedule)  = {result.makespan}")
+    print(f"speedup     = {result.speedup:.2f}")
+    print(f"parallelism = {result.parallelism:.2f}")
+    return 0
+
+
+def _cmd_coverage(options: argparse.Namespace) -> int:
+    from .repair import measure_coverage
+
+    program = _load_program(options.file)
+    inputs = [[_parse_arg(a) for a in spec.split(",")] if spec else []
+              for spec in (options.inputs or [""])]
+    report = measure_coverage(program, inputs)
+    print(report.summary())
+    return 0 if report.is_adequate else 1
+
+
+def _cmd_dot(options: argparse.Namespace) -> int:
+    from .dpst.builder import DpstBuilder
+    from .graph import ComputationGraph
+    from .runtime import Interpreter
+    from . import viz
+
+    program = _load_program(options.file)
+    args = [_parse_arg(a) for a in options.arg]
+    if options.view == "dpst":
+        result = detect_races(program, args)
+        print(viz.dpst_to_dot(result.dpst, result.report,
+                              max_nodes=options.max_nodes))
+    else:
+        builder = DpstBuilder()
+        Interpreter(program, builder).run(args)
+        graph = ComputationGraph.from_dpst(builder.finish())
+        print(viz.computation_graph_to_dot(graph))
+    return 0
+
+
+def _cmd_bench(options: argparse.Namespace) -> int:
+    subset = options.benchmarks or None
+    full = not options.quick
+    experiments = options.experiments or ["table1", "fig16", "table2",
+                                          "table3", "table4", "students"]
+    for experiment in experiments:
+        if experiment == "table1":
+            print(harness.format_rows(harness.table1(subset),
+                                      "Table 1: benchmark suite"))
+        elif experiment == "fig16":
+            rows = harness.figure16(subset, use_perf_args=full)
+            print(harness.format_rows(
+                rows, "Figure 16: simulated execution times (12 workers)"))
+            print()
+            print(harness.render_figure16_chart(rows))
+        elif experiment == "table2":
+            print(harness.format_rows(
+                harness.table2(subset, use_repair_args=full),
+                "Table 2: time for program repair (MRW)"))
+        elif experiment == "table3":
+            print(harness.format_rows(
+                harness.table3(subset, use_repair_args=full),
+                "Table 3: SRW vs MRW repair time"))
+        elif experiment == "table4":
+            print(harness.format_rows(
+                harness.table4(subset, use_repair_args=full),
+                "Table 4: races detected, SRW vs MRW"))
+        elif experiment == "students":
+            result = harness.students()
+            print("Section 7.4: student homework grading")
+            print(f"  total={result['total']} racy={result['racy']} "
+                  f"over-synchronized={result['over_synchronized']} "
+                  f"matched={result['matched']}")
+        else:
+            print(f"unknown experiment {experiment!r}", file=sys.stderr)
+            return 2
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-repair",
+        description="Test-driven repair of data races in async/finish "
+                    "programs (PLDI 2014 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p) -> None:
+        p.add_argument("file", help="mini-HJ source file")
+        p.add_argument("--arg", action="append", default=[],
+                       help="argument passed to main() (repeatable)")
+        p.add_argument("--algorithm", choices=("mrw", "srw"), default="mrw",
+                       help="ESP-bags variant (default: mrw)")
+        p.add_argument("--strip-finishes", action="store_true",
+                       help="remove existing finish statements first")
+
+    p_detect = sub.add_parser("detect", help="run the race detector")
+    add_common(p_detect)
+    p_detect.add_argument("--limit", type=int, default=20,
+                          help="max races to print (default 20)")
+    p_detect.set_defaults(func=_cmd_detect)
+
+    p_repair = sub.add_parser("repair", help="repair the program")
+    add_common(p_repair)
+    p_repair.add_argument("-o", "--output", help="write repaired source here")
+    p_repair.add_argument("--max-iterations", type=int, default=20)
+    p_repair.set_defaults(func=_cmd_repair)
+
+    p_measure = sub.add_parser(
+        "measure", help="simulate parallel execution (work/span/T_P)")
+    p_measure.add_argument("file")
+    p_measure.add_argument("--arg", action="append", default=[])
+    p_measure.add_argument("--processors", type=int, default=12)
+    p_measure.add_argument("--sequential", action="store_true",
+                           help="measure the serial elision instead")
+    p_measure.set_defaults(func=_cmd_measure)
+
+    p_cov = sub.add_parser(
+        "coverage",
+        help="check whether a set of inputs exercises all parallelism")
+    p_cov.add_argument("file")
+    p_cov.add_argument("--inputs", nargs="*", metavar="A,B,...",
+                       help='one comma-separated arg list per input, '
+                            'e.g. --inputs 10 200 "5,true"')
+    p_cov.set_defaults(func=_cmd_coverage)
+
+    p_dot = sub.add_parser(
+        "dot", help="emit Graphviz DOT for the S-DPST or computation DAG")
+    p_dot.add_argument("file")
+    p_dot.add_argument("--arg", action="append", default=[])
+    p_dot.add_argument("--view", choices=("dpst", "graph"), default="dpst")
+    p_dot.add_argument("--max-nodes", type=int, default=400)
+    p_dot.set_defaults(func=_cmd_dot)
+
+    p_bench = sub.add_parser("bench", help="regenerate paper experiments")
+    p_bench.add_argument("--benchmarks", nargs="*",
+                         help="subset of benchmark names")
+    p_bench.add_argument("--experiments", nargs="*",
+                         help="table1 fig16 table2 table3 table4 students")
+    p_bench.add_argument("--quick", action="store_true",
+                         help="use tiny test inputs instead of paper sizes")
+    p_bench.set_defaults(func=_cmd_bench)
+    return parser
+
+
+def main(argv: Sequence[str] = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+    try:
+        return options.func(options)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,20 @@
+"""Scoped Dynamic Program Structure Tree (S-DPST) — the principal data
+structure of the paper's analysis (Section 4.2)."""
+
+from .builder import DetectorBase, DpstBuilder
+from .prune import prune_race_free
+from .nodes import ASYNC, FINISH, SCOPE, STEP, DpstNode
+from .tree import Dpst, path_between
+
+__all__ = [
+    "ASYNC",
+    "FINISH",
+    "SCOPE",
+    "STEP",
+    "DpstNode",
+    "Dpst",
+    "path_between",
+    "DpstBuilder",
+    "DetectorBase",
+    "prune_race_free",
+]

@@ -1,0 +1,84 @@
+"""S-DPST pruning (paper §9, future work).
+
+Long-running programs build S-DPSTs that may not fit in memory; the
+paper proposes garbage-collecting parts of the tree that exhibit no race
+conditions.  :func:`prune_race_free` implements the offline variant:
+given a tree and its race report, race-free subtrees collapse into
+summary steps that preserve the subtree's exact timing signature
+(synchronous advance and completion), so the pruned tree still supports
+exact finish-placement computations for the remaining races.
+
+Collapse rules (each provably timing-exact):
+
+* a race-free *scope* whose completion equals its synchronous advance
+  (no dangling tasks inside) becomes one step of that cost;
+* a race-free *async* or *finish* keeps its root node — its kind governs
+  how time composes with the parent — and its interior becomes one step
+  whose cost is the body's completion time;
+* anything containing a race endpoint, or a scope with dangling task
+  time, is recursed into instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+from ..graph.computation import span_parts
+from .nodes import ASYNC, FINISH, SCOPE, STEP, DpstNode
+from .tree import Dpst
+
+
+def prune_race_free(tree: Dpst, report) -> int:
+    """Collapse race-free subtrees into summary steps, in place.
+
+    ``report`` is a :class:`~repro.races.report.RaceReport` (or any
+    iterable of races with ``source``/``sink`` step nodes).  Returns the
+    number of nodes removed.
+    """
+    keep: Set[int] = set()
+    for race in report:
+        for endpoint in (race.source, race.sink):
+            node = endpoint
+            while node is not None and node.index not in keep:
+                keep.add(node.index)
+                node = node.parent
+    before = tree.node_count()
+    cache: Dict[int, Tuple[int, int]] = {}
+
+    def summary_step(parent: DpstNode, cost: int,
+                     anchor: int) -> DpstNode:
+        step = DpstNode(STEP, index=-1, parent=parent, anchor_nid=anchor)
+        step.cost = cost
+        if anchor is not None:
+            step.anchors.append(anchor)
+        step.label = "pruned"
+        return step
+
+    def visit(node: DpstNode) -> None:
+        new_children = []
+        for child in node.children:
+            if child.index in keep:
+                visit(child)
+                new_children.append(child)
+            elif child.kind == STEP or not child.children:
+                new_children.append(child)
+            elif child.kind == SCOPE:
+                advance, completion = span_parts(child, cache)
+                if advance == completion:
+                    new_children.append(
+                        summary_step(node, advance, child.anchor_nid))
+                else:  # dangling task time inside: keep structure
+                    visit(child)
+                    new_children.append(child)
+            else:  # race-free async or finish: collapse the interior
+                assert child.kind in (ASYNC, FINISH)
+                _, completion = span_parts(child, cache)
+                anchor = (child.children[0].anchor_nid
+                          if child.children else child.anchor_nid)
+                child.children = [summary_step(child, completion, anchor)]
+                new_children.append(child)
+        node.children = new_children
+
+    visit(tree.root)
+    tree._renumber()
+    return before - tree.node_count()

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single type at the tool boundary.  Errors that carry a
+source location expose it through the ``line`` and ``column`` attributes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SourceError(ReproError):
+    """An error attached to a position in mini-HJ source code."""
+
+    def __init__(self, message: str, line: Optional[int] = None,
+                 column: Optional[int] = None) -> None:
+        self.bare_message = message
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"{line}:{column if column is not None else '?'}: {message}"
+        super().__init__(message)
+
+
+class LexError(SourceError):
+    """Raised by the lexer on malformed input characters or literals."""
+
+
+class ParseError(SourceError):
+    """Raised by the parser on a syntax error."""
+
+
+class ValidationError(SourceError):
+    """Raised when a parsed program violates static well-formedness rules."""
+
+
+class RuntimeFault(SourceError):
+    """Raised when the interpreter encounters a dynamic error.
+
+    Examples: reading an undefined variable, out-of-bounds array index,
+    calling a non-function, or arithmetic on incompatible values.
+    """
+
+
+class StepLimitExceeded(RuntimeFault):
+    """Raised when execution exceeds the configured step budget."""
+
+
+class RepairError(ReproError):
+    """Raised when the repair engine cannot make progress.
+
+    This covers both internal invariant violations (e.g. a dependence-graph
+    edge whose source is not an async node) and genuinely unrepairable
+    inputs (no valid finish placement exists for a race).
+    """

@@ -1,0 +1,33 @@
+"""Computation graphs, critical-path analysis and simulated scheduling."""
+
+from typing import Any, Sequence
+
+from ..dpst.builder import DpstBuilder
+from ..lang import ast
+from ..runtime.interpreter import Interpreter
+from .computation import ComputationGraph, span_parts, subtree_completion
+from .schedule import ScheduleResult, greedy_schedule
+
+__all__ = [
+    "ComputationGraph",
+    "span_parts",
+    "subtree_completion",
+    "ScheduleResult",
+    "greedy_schedule",
+    "measure_program",
+]
+
+
+def measure_program(program: ast.Program, args: Sequence[Any] = (),
+                    processors: int = 12, seed: int = 20140609,
+                    max_ops: int = 200_000_000) -> ScheduleResult:
+    """Run a program, build its computation graph, and simulate P workers.
+
+    Returns T1 (work == sequential time), T-infinity (CPL) and T_P for the
+    greedy schedule — the quantities behind Figure 16.
+    """
+    builder = DpstBuilder()
+    Interpreter(program, builder, seed=seed, max_ops=max_ops).run(args)
+    dpst = builder.finish()
+    graph = ComputationGraph.from_dpst(dpst)
+    return greedy_schedule(graph, processors)

@@ -1,0 +1,180 @@
+"""Computation graphs and span analysis over an S-DPST.
+
+Two related views of one execution:
+
+* :func:`span_parts` — per-subtree *(synchronous advance, completion
+  time)* pairs.  These are the node execution times ``t_i`` used by the
+  dynamic finish-placement DP (an async child contributes 0 synchronous
+  advance; its completion is the span of its body).
+* :class:`ComputationGraph` — the step-level DAG with continue, spawn and
+  join edges, used for work/span/greedy-schedule measurements (the paper's
+  Definition 1: critical path length == execution time on unboundedly many
+  processors).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..dpst.nodes import ASYNC, FINISH, STEP, DpstNode
+from ..dpst.tree import Dpst
+
+
+def span_parts(node: DpstNode,
+               cache: Dict[int, Tuple[int, int]] = None) -> Tuple[int, int]:
+    """Return ``(sync_advance, completion)`` for a subtree, in cost units.
+
+    ``sync_advance`` is how long the parent task is busy executing this
+    child before moving on; ``completion`` is when the entire subtree
+    (including spawned tasks) has finished, measured from the child's
+    start.  For an async child the parent moves on immediately
+    (``sync_advance == 0``); a finish child holds the parent until
+    everything inside joins (``sync_advance == completion``).
+    """
+    if cache is None:
+        cache = {}
+    cached = cache.get(node.index)
+    if cached is not None:
+        return cached
+    if node.kind == STEP:
+        result = (node.cost, node.cost)
+    else:
+        clock = 0
+        completion = 0
+        for child in node.children:
+            advance, child_completion = span_parts(child, cache)
+            completion = max(completion, clock + child_completion)
+            clock += advance
+        completion = max(completion, clock)
+        if node.kind == ASYNC:
+            result = (0, completion)
+        elif node.kind == FINISH:
+            result = (completion, completion)
+        else:  # scope (and the root main task behaves like a scope here)
+            result = (clock, completion)
+    cache[node.index] = result
+    return result
+
+
+def subtree_completion(node: DpstNode, cache=None) -> int:
+    """Completion time (span) of the subtree rooted at ``node``."""
+    return span_parts(node, cache)[1]
+
+
+class ComputationGraph:
+    """Step-level DAG of one execution.
+
+    Nodes are S-DPST steps (identified by their DPST index); edges are the
+    continue/spawn/join dependences implied by async/finish structure.
+    Edge direction always goes forward in depth-first order, so the node
+    list is already topologically sorted.
+    """
+
+    def __init__(self) -> None:
+        self.order: List[int] = []           # topological node order
+        self.cost: Dict[int, int] = {}
+        self.preds: Dict[int, List[int]] = {}
+        self.succs: Dict[int, List[int]] = {}
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_dpst(cls, dpst: Dpst) -> "ComputationGraph":
+        """Build the DAG by a structural walk of the tree."""
+        graph = cls()
+        graph._build(dpst.root, frozenset())
+        return graph
+
+    def _add_node(self, step: DpstNode, preds) -> None:
+        idx = step.index
+        self.order.append(idx)
+        self.cost[idx] = step.cost
+        self.preds[idx] = sorted(preds)
+        self.succs.setdefault(idx, [])
+        for p in preds:
+            self.succs.setdefault(p, []).append(idx)
+
+    def _build(self, node: DpstNode, entry_preds):
+        """Process ``node``; returns ``(sync_preds, dangling)``.
+
+        ``sync_preds`` are the predecessors for whatever synchronous
+        computation follows the node in its parent; ``dangling`` are exit
+        steps of tasks spawned inside that have not joined yet.
+        """
+        if node.kind == STEP:
+            self._add_node(node, entry_preds)
+            return frozenset((node.index,)), frozenset()
+
+        if node.kind == ASYNC:
+            sync, dangling = self._sequence(node.children, entry_preds)
+            # The parent does not wait: its own frontier is unchanged, and
+            # everything live inside the task dangles until some finish.
+            return entry_preds, sync | dangling
+
+        if node.kind == FINISH:
+            sync, dangling = self._sequence(node.children, entry_preds)
+            # Join: whatever follows waits for both the synchronous tail
+            # and every spawned task inside.
+            return sync | dangling, frozenset()
+
+        # Scope nodes (and the root) are transparent sequences.
+        return self._sequence(node.children, entry_preds)
+
+    def _sequence(self, children, entry_preds):
+        sync = entry_preds
+        dangling = frozenset()
+        for child in children:
+            child_sync, child_dangling = self._build(child, sync)
+            sync = child_sync
+            dangling = dangling | child_dangling
+        return sync, dangling
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        return len(self.order)
+
+    def work(self) -> int:
+        """T1: total cost over all steps."""
+        return sum(self.cost.values())
+
+    def span(self) -> int:
+        """T-infinity: the critical path length (Definition 1)."""
+        finish_at: Dict[int, int] = {}
+        longest = 0
+        for idx in self.order:
+            start = 0
+            for p in self.preds[idx]:
+                t = finish_at[p]
+                if t > start:
+                    start = t
+            finish_at[idx] = start + self.cost[idx]
+            if finish_at[idx] > longest:
+                longest = finish_at[idx]
+        return longest
+
+    def critical_path(self) -> List[int]:
+        """Step indices along one longest path, in execution order."""
+        finish_at: Dict[int, int] = {}
+        best_pred: Dict[int, int] = {}
+        last = None
+        longest = -1
+        for idx in self.order:
+            start, chosen = 0, None
+            for p in self.preds[idx]:
+                t = finish_at[p]
+                if t > start:
+                    start, chosen = t, p
+            finish_at[idx] = start + self.cost[idx]
+            if chosen is not None:
+                best_pred[idx] = chosen
+            if finish_at[idx] > longest:
+                longest, last = finish_at[idx], idx
+        path: List[int] = []
+        while last is not None:
+            path.append(last)
+            last = best_pred.get(last)
+        return list(reversed(path))

@@ -1,0 +1,43 @@
+"""The mini-HJ language: lexer, parser, AST, printer and transforms.
+
+This subpackage is the *input language substrate* of the reproduction: a
+small Habanero-Java-like task-parallel language with ``async`` and
+``finish`` constructs, as described in Section 2.1 of the paper.
+"""
+
+from . import ast
+from .elision import is_sequential, serial_elision
+from .lexer import Lexer, tokenize
+from .parser import Parser, parse
+from .pretty import expr_to_str, pretty, stmt_to_str
+from .transform import (
+    ast_equal,
+    clone_program,
+    count_asyncs,
+    count_finishes,
+    insert_finish,
+    strip_finishes,
+    synthetic_finishes,
+)
+from .validate import validate
+
+__all__ = [
+    "ast",
+    "tokenize",
+    "Lexer",
+    "parse",
+    "Parser",
+    "pretty",
+    "stmt_to_str",
+    "expr_to_str",
+    "serial_elision",
+    "is_sequential",
+    "clone_program",
+    "strip_finishes",
+    "insert_finish",
+    "count_finishes",
+    "count_asyncs",
+    "synthetic_finishes",
+    "ast_equal",
+    "validate",
+]

@@ -1,0 +1,475 @@
+"""Abstract syntax tree for the mini-HJ language.
+
+Every node carries a program-unique integer id (``nid``) and a source
+position.  Node ids are the link between the dynamic analysis (S-DPST nodes
+record the ids of the AST constructs they were created from) and the static
+repair (finish statements are spliced into blocks identified by id).
+
+The tree is deliberately mutable: the static finish-placement pass edits
+``Block.stmts`` in place, allocating fresh ids for the inserted ``finish``
+nodes from the owning :class:`Program`'s counter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+
+class Node:
+    """Base class for all AST nodes."""
+
+    __slots__ = ("nid", "line", "col")
+
+    def __init__(self, nid: int, line: int = 0, col: int = 0) -> None:
+        self.nid = nid
+        self.line = line
+        self.col = col
+
+    def children(self) -> Iterator["Node"]:
+        """Yield direct child nodes (used by generic walks)."""
+        return iter(())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(nid={self.nid})"
+
+
+def walk(node: Node) -> Iterator[Node]:
+    """Yield ``node`` and every descendant in preorder."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        stack.extend(reversed(list(current.children())))
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+
+class Expr(Node):
+    """Base class for expressions."""
+    __slots__ = ()
+
+
+class IntLit(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, nid: int, value: int, line: int = 0, col: int = 0) -> None:
+        super().__init__(nid, line, col)
+        self.value = value
+
+
+class FloatLit(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, nid: int, value: float, line: int = 0, col: int = 0) -> None:
+        super().__init__(nid, line, col)
+        self.value = value
+
+
+class StringLit(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, nid: int, value: str, line: int = 0, col: int = 0) -> None:
+        super().__init__(nid, line, col)
+        self.value = value
+
+
+class BoolLit(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, nid: int, value: bool, line: int = 0, col: int = 0) -> None:
+        super().__init__(nid, line, col)
+        self.value = value
+
+
+class NullLit(Expr):
+    __slots__ = ()
+
+
+class VarRef(Expr):
+    """A reference to a variable by name (local, parameter, or global)."""
+    __slots__ = ("name",)
+
+    def __init__(self, nid: int, name: str, line: int = 0, col: int = 0) -> None:
+        super().__init__(nid, line, col)
+        self.name = name
+
+
+class Unary(Expr):
+    """Unary operator application: ``-``, ``!`` or ``~``."""
+    __slots__ = ("op", "operand")
+
+    def __init__(self, nid: int, op: str, operand: Expr,
+                 line: int = 0, col: int = 0) -> None:
+        super().__init__(nid, line, col)
+        self.op = op
+        self.operand = operand
+
+    def children(self) -> Iterator[Node]:
+        yield self.operand
+
+
+class Binary(Expr):
+    """Binary operator application.
+
+    ``&&`` and ``||`` short-circuit; all other operators are strict.
+    """
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, nid: int, op: str, left: Expr, right: Expr,
+                 line: int = 0, col: int = 0) -> None:
+        super().__init__(nid, line, col)
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def children(self) -> Iterator[Node]:
+        yield self.left
+        yield self.right
+
+
+class Call(Expr):
+    """A call to a user function or builtin, by name."""
+    __slots__ = ("name", "args")
+
+    def __init__(self, nid: int, name: str, args: List[Expr],
+                 line: int = 0, col: int = 0) -> None:
+        super().__init__(nid, line, col)
+        self.name = name
+        self.args = args
+
+    def children(self) -> Iterator[Node]:
+        return iter(self.args)
+
+
+class Index(Expr):
+    """Array element access ``base[index]``."""
+    __slots__ = ("base", "index")
+
+    def __init__(self, nid: int, base: Expr, index: Expr,
+                 line: int = 0, col: int = 0) -> None:
+        super().__init__(nid, line, col)
+        self.base = base
+        self.index = index
+
+    def children(self) -> Iterator[Node]:
+        yield self.base
+        yield self.index
+
+
+class FieldAccess(Expr):
+    """Struct field access ``base.field``."""
+    __slots__ = ("base", "field")
+
+    def __init__(self, nid: int, base: Expr, field: str,
+                 line: int = 0, col: int = 0) -> None:
+        super().__init__(nid, line, col)
+        self.base = base
+        self.field = field
+
+    def children(self) -> Iterator[Node]:
+        yield self.base
+
+
+class NewArray(Expr):
+    """Array allocation ``new elem[len]`` (dims may nest for 2-D arrays).
+
+    ``elem_type`` is the written element type name; it determines the fill
+    value (0 for ``int``, 0.0 for ``double``, false for ``boolean``, null
+    otherwise).  ``dims`` holds one expression per dimension.
+    """
+    __slots__ = ("elem_type", "dims")
+
+    def __init__(self, nid: int, elem_type: str, dims: List[Expr],
+                 line: int = 0, col: int = 0) -> None:
+        super().__init__(nid, line, col)
+        self.elem_type = elem_type
+        self.dims = dims
+
+    def children(self) -> Iterator[Node]:
+        return iter(self.dims)
+
+
+class NewStruct(Expr):
+    """Struct allocation ``new Name()``; all fields start as null/0."""
+    __slots__ = ("struct_name",)
+
+    def __init__(self, nid: int, struct_name: str,
+                 line: int = 0, col: int = 0) -> None:
+        super().__init__(nid, line, col)
+        self.struct_name = struct_name
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+
+class Stmt(Node):
+    """Base class for statements."""
+    __slots__ = ()
+
+
+class Block(Stmt):
+    """A brace-delimited statement list.
+
+    Blocks are the splice points for repair: new ``finish`` statements wrap
+    contiguous ranges of ``stmts``.
+    """
+    __slots__ = ("stmts",)
+
+    def __init__(self, nid: int, stmts: List[Stmt],
+                 line: int = 0, col: int = 0) -> None:
+        super().__init__(nid, line, col)
+        self.stmts = stmts
+
+    def children(self) -> Iterator[Node]:
+        return iter(self.stmts)
+
+
+class VarDecl(Stmt):
+    """``var name = init;`` — declares a new variable in the current scope."""
+    __slots__ = ("name", "init")
+
+    def __init__(self, nid: int, name: str, init: Optional[Expr],
+                 line: int = 0, col: int = 0) -> None:
+        super().__init__(nid, line, col)
+        self.name = name
+        self.init = init
+
+    def children(self) -> Iterator[Node]:
+        if self.init is not None:
+            yield self.init
+
+
+class Assign(Stmt):
+    """Assignment to an lvalue; ``op`` is ``=``, ``+=``, ``-=``, ``*=`` or ``/=``."""
+    __slots__ = ("target", "op", "value")
+
+    def __init__(self, nid: int, target: Expr, op: str, value: Expr,
+                 line: int = 0, col: int = 0) -> None:
+        super().__init__(nid, line, col)
+        self.target = target
+        self.op = op
+        self.value = value
+
+    def children(self) -> Iterator[Node]:
+        yield self.target
+        yield self.value
+
+
+class ExprStmt(Stmt):
+    """An expression evaluated for effect (typically a call)."""
+    __slots__ = ("expr",)
+
+    def __init__(self, nid: int, expr: Expr, line: int = 0, col: int = 0) -> None:
+        super().__init__(nid, line, col)
+        self.expr = expr
+
+    def children(self) -> Iterator[Node]:
+        yield self.expr
+
+
+class If(Stmt):
+    __slots__ = ("cond", "then_block", "else_block")
+
+    def __init__(self, nid: int, cond: Expr, then_block: Block,
+                 else_block: Optional[Block], line: int = 0, col: int = 0) -> None:
+        super().__init__(nid, line, col)
+        self.cond = cond
+        self.then_block = then_block
+        self.else_block = else_block
+
+    def children(self) -> Iterator[Node]:
+        yield self.cond
+        yield self.then_block
+        if self.else_block is not None:
+            yield self.else_block
+
+
+class While(Stmt):
+    __slots__ = ("cond", "body")
+
+    def __init__(self, nid: int, cond: Expr, body: Block,
+                 line: int = 0, col: int = 0) -> None:
+        super().__init__(nid, line, col)
+        self.cond = cond
+        self.body = body
+
+    def children(self) -> Iterator[Node]:
+        yield self.cond
+        yield self.body
+
+
+class For(Stmt):
+    """C-style ``for (init; cond; update) body``.
+
+    ``init`` is a :class:`VarDecl` or :class:`Assign` (or None); ``update``
+    is an :class:`Assign` or :class:`ExprStmt` (or None).
+    """
+    __slots__ = ("init", "cond", "update", "body")
+
+    def __init__(self, nid: int, init: Optional[Stmt], cond: Optional[Expr],
+                 update: Optional[Stmt], body: Block,
+                 line: int = 0, col: int = 0) -> None:
+        super().__init__(nid, line, col)
+        self.init = init
+        self.cond = cond
+        self.update = update
+        self.body = body
+
+    def children(self) -> Iterator[Node]:
+        if self.init is not None:
+            yield self.init
+        if self.cond is not None:
+            yield self.cond
+        if self.update is not None:
+            yield self.update
+        yield self.body
+
+
+class Return(Stmt):
+    __slots__ = ("value",)
+
+    def __init__(self, nid: int, value: Optional[Expr],
+                 line: int = 0, col: int = 0) -> None:
+        super().__init__(nid, line, col)
+        self.value = value
+
+    def children(self) -> Iterator[Node]:
+        if self.value is not None:
+            yield self.value
+
+
+class Break(Stmt):
+    __slots__ = ()
+
+
+class Continue(Stmt):
+    __slots__ = ()
+
+
+class AsyncStmt(Stmt):
+    """``async { body }`` — spawn ``body`` as an asynchronous child task."""
+    __slots__ = ("body",)
+
+    def __init__(self, nid: int, body: Block, line: int = 0, col: int = 0) -> None:
+        super().__init__(nid, line, col)
+        self.body = body
+
+    def children(self) -> Iterator[Node]:
+        yield self.body
+
+
+class FinishStmt(Stmt):
+    """``finish { body }`` — run ``body`` and join all tasks spawned in it.
+
+    ``synthetic`` marks finishes inserted by the repair tool, so reports and
+    pretty-printing can distinguish them from programmer-written ones.
+    """
+    __slots__ = ("body", "synthetic")
+
+    def __init__(self, nid: int, body: Block, line: int = 0, col: int = 0,
+                 synthetic: bool = False) -> None:
+        super().__init__(nid, line, col)
+        self.body = body
+        self.synthetic = synthetic
+
+    def children(self) -> Iterator[Node]:
+        yield self.body
+
+
+# ----------------------------------------------------------------------
+# Declarations and programs
+# ----------------------------------------------------------------------
+
+class Param(Node):
+    __slots__ = ("name",)
+
+    def __init__(self, nid: int, name: str, line: int = 0, col: int = 0) -> None:
+        super().__init__(nid, line, col)
+        self.name = name
+
+
+class FuncDecl(Node):
+    __slots__ = ("name", "params", "body")
+
+    def __init__(self, nid: int, name: str, params: List[Param], body: Block,
+                 line: int = 0, col: int = 0) -> None:
+        super().__init__(nid, line, col)
+        self.name = name
+        self.params = params
+        self.body = body
+
+    def children(self) -> Iterator[Node]:
+        yield from self.params
+        yield self.body
+
+
+class StructDecl(Node):
+    __slots__ = ("name", "fields")
+
+    def __init__(self, nid: int, name: str, fields: List[str],
+                 line: int = 0, col: int = 0) -> None:
+        super().__init__(nid, line, col)
+        self.name = name
+        self.fields = fields
+
+
+class GlobalDecl(Node):
+    """A top-level ``var`` declaration (a shared global variable)."""
+    __slots__ = ("name", "init")
+
+    def __init__(self, nid: int, name: str, init: Optional[Expr],
+                 line: int = 0, col: int = 0) -> None:
+        super().__init__(nid, line, col)
+        self.name = name
+        self.init = init
+
+    def children(self) -> Iterator[Node]:
+        if self.init is not None:
+            yield self.init
+
+
+class Program(Node):
+    """A whole mini-HJ program.
+
+    Owns the node-id counter used to allocate fresh ids for nodes created
+    after parsing (e.g. repair-inserted finish statements).  Execution
+    starts at the function named ``main``.
+    """
+
+    __slots__ = ("functions", "structs", "globals", "_next_id", "source_name")
+
+    def __init__(self, nid: int = 0, source_name: str = "<program>") -> None:
+        super().__init__(nid)
+        self.functions: Dict[str, FuncDecl] = {}
+        self.structs: Dict[str, StructDecl] = {}
+        self.globals: List[GlobalDecl] = []
+        self._next_id = nid + 1
+        self.source_name = source_name
+
+    def children(self) -> Iterator[Node]:
+        yield from self.globals
+        yield from self.structs.values()
+        yield from self.functions.values()
+
+    def fresh_id(self) -> int:
+        """Allocate a new program-unique node id."""
+        nid = self._next_id
+        self._next_id += 1
+        return nid
+
+    def note_max_id(self, nid: int) -> None:
+        """Ensure future :meth:`fresh_id` calls stay above ``nid``."""
+        if nid >= self._next_id:
+            self._next_id = nid + 1
+
+    def node_index(self) -> Dict[int, Node]:
+        """Build a map from node id to node over the whole program."""
+        return {n.nid: n for n in walk(self)}
+
+    @property
+    def main(self) -> FuncDecl:
+        """The entry-point function; raises ``KeyError`` if absent."""
+        return self.functions["main"]

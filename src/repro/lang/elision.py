@@ -1,0 +1,49 @@
+"""Serial elision: the sequential program obtained by deleting ``async``
+and ``finish`` keywords (Problem 1, criterion 4 of the paper).
+
+A repaired program must compute the same results as its serial elision;
+the test suite checks this by running both and comparing outputs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from . import ast
+from .transform import clone_program
+
+
+def serial_elision(program: ast.Program) -> ast.Program:
+    """Return a copy of ``program`` with async/finish replaced by blocks.
+
+    The bodies stay in place as bare blocks, so evaluation order and
+    variable scoping are exactly those of the depth-first sequential
+    execution of the parallel program.
+    """
+    elided = clone_program(program)
+    for func in elided.functions.values():
+        _elide_block(func.body)
+    return elided
+
+
+def _elide_block(block: ast.Block) -> None:
+    new_stmts: List[ast.Stmt] = []
+    for stmt in block.stmts:
+        if isinstance(stmt, (ast.AsyncStmt, ast.FinishStmt)):
+            _elide_block(stmt.body)
+            new_stmts.append(stmt.body)
+        elif isinstance(stmt, ast.Block):
+            _elide_block(stmt)
+            new_stmts.append(stmt)
+        else:
+            for child in stmt.children():
+                if isinstance(child, ast.Block):
+                    _elide_block(child)
+            new_stmts.append(stmt)
+    block.stmts = new_stmts
+
+
+def is_sequential(program: ast.Program) -> bool:
+    """True if the program contains no async or finish statements."""
+    return not any(isinstance(n, (ast.AsyncStmt, ast.FinishStmt))
+                   for n in ast.walk(program))

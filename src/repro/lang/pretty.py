@@ -1,0 +1,200 @@
+"""Source emitter for mini-HJ ASTs.
+
+``pretty(program)`` produces text that re-parses to a structurally equal
+program (modulo node ids and source positions) — the property tests rely on
+this round trip.  Repair-inserted finish statements are annotated with a
+``// repair`` comment so repaired sources are self-describing.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from . import ast
+
+_INDENT = "    "
+
+# Precedence table mirroring the parser, used to parenthesize minimally.
+_PRECEDENCE = {
+    "||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+_UNARY_PRECEDENCE = 11
+
+
+def _escape(text: str) -> str:
+    out = []
+    for ch in text:
+        if ch == "\\":
+            out.append("\\\\")
+        elif ch == '"':
+            out.append('\\"')
+        elif ch == "\n":
+            out.append("\\n")
+        elif ch == "\t":
+            out.append("\\t")
+        elif ch == "\r":
+            out.append("\\r")
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
+def expr_to_str(expr: ast.Expr, parent_prec: int = 0) -> str:
+    """Render an expression, adding parentheses only where required."""
+    if isinstance(expr, ast.IntLit):
+        return str(expr.value)
+    if isinstance(expr, ast.FloatLit):
+        text = repr(expr.value)
+        return text
+    if isinstance(expr, ast.StringLit):
+        return f'"{_escape(expr.value)}"'
+    if isinstance(expr, ast.BoolLit):
+        return "true" if expr.value else "false"
+    if isinstance(expr, ast.NullLit):
+        return "null"
+    if isinstance(expr, ast.VarRef):
+        return expr.name
+    if isinstance(expr, ast.Unary):
+        inner = expr_to_str(expr.operand, _UNARY_PRECEDENCE)
+        text = f"{expr.op}{inner}"
+        return text if parent_prec <= _UNARY_PRECEDENCE else f"({text})"
+    if isinstance(expr, ast.Binary):
+        prec = _PRECEDENCE[expr.op]
+        left = expr_to_str(expr.left, prec)
+        right = expr_to_str(expr.right, prec + 1)
+        text = f"{left} {expr.op} {right}"
+        return text if prec >= parent_prec else f"({text})"
+    if isinstance(expr, ast.Call):
+        args = ", ".join(expr_to_str(a) for a in expr.args)
+        return f"{expr.name}({args})"
+    if isinstance(expr, ast.Index):
+        return f"{expr_to_str(expr.base, _UNARY_PRECEDENCE + 1)}[{expr_to_str(expr.index)}]"
+    if isinstance(expr, ast.FieldAccess):
+        return f"{expr_to_str(expr.base, _UNARY_PRECEDENCE + 1)}.{expr.field}"
+    if isinstance(expr, ast.NewArray):
+        dims = "".join(f"[{expr_to_str(d)}]" for d in expr.dims)
+        return f"new {expr.elem_type}{dims}"
+    if isinstance(expr, ast.NewStruct):
+        return f"new {expr.struct_name}()"
+    raise TypeError(f"unknown expression node {type(expr).__name__}")
+
+
+class _Printer:
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self.depth = 0
+
+    def emit(self, text: str) -> None:
+        self.lines.append(f"{_INDENT * self.depth}{text}")
+
+    def block_body(self, block: ast.Block) -> None:
+        self.depth += 1
+        for stmt in block.stmts:
+            self.stmt(stmt)
+        self.depth -= 1
+
+    def stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            self.emit("{")
+            self.block_body(stmt)
+            self.emit("}")
+        elif isinstance(stmt, ast.VarDecl):
+            if stmt.init is None:
+                self.emit(f"var {stmt.name};")
+            else:
+                self.emit(f"var {stmt.name} = {expr_to_str(stmt.init)};")
+        elif isinstance(stmt, ast.Assign):
+            self.emit(f"{expr_to_str(stmt.target)} {stmt.op} "
+                      f"{expr_to_str(stmt.value)};")
+        elif isinstance(stmt, ast.ExprStmt):
+            self.emit(f"{expr_to_str(stmt.expr)};")
+        elif isinstance(stmt, ast.If):
+            self.emit(f"if ({expr_to_str(stmt.cond)}) {{")
+            self.block_body(stmt.then_block)
+            if stmt.else_block is None:
+                self.emit("}")
+            else:
+                self.emit("} else {")
+                self.block_body(stmt.else_block)
+                self.emit("}")
+        elif isinstance(stmt, ast.While):
+            self.emit(f"while ({expr_to_str(stmt.cond)}) {{")
+            self.block_body(stmt.body)
+            self.emit("}")
+        elif isinstance(stmt, ast.For):
+            init = self._clause(stmt.init)
+            cond = expr_to_str(stmt.cond) if stmt.cond is not None else ""
+            update = self._clause(stmt.update)
+            self.emit(f"for ({init}; {cond}; {update}) {{")
+            self.block_body(stmt.body)
+            self.emit("}")
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is None:
+                self.emit("return;")
+            else:
+                self.emit(f"return {expr_to_str(stmt.value)};")
+        elif isinstance(stmt, ast.Break):
+            self.emit("break;")
+        elif isinstance(stmt, ast.Continue):
+            self.emit("continue;")
+        elif isinstance(stmt, ast.AsyncStmt):
+            self.emit("async {")
+            self.block_body(stmt.body)
+            self.emit("}")
+        elif isinstance(stmt, ast.FinishStmt):
+            marker = "  // repair" if stmt.synthetic else ""
+            self.emit(f"finish {{{marker}")
+            self.block_body(stmt.body)
+            self.emit("}")
+        else:
+            raise TypeError(f"unknown statement node {type(stmt).__name__}")
+
+    def _clause(self, stmt) -> str:
+        """Render a for-clause (no trailing semicolon)."""
+        if stmt is None:
+            return ""
+        if isinstance(stmt, ast.VarDecl):
+            if stmt.init is None:
+                return f"var {stmt.name}"
+            return f"var {stmt.name} = {expr_to_str(stmt.init)}"
+        if isinstance(stmt, ast.Assign):
+            return (f"{expr_to_str(stmt.target)} {stmt.op} "
+                    f"{expr_to_str(stmt.value)}")
+        if isinstance(stmt, ast.ExprStmt):
+            return expr_to_str(stmt.expr)
+        raise TypeError(f"bad for-clause {type(stmt).__name__}")
+
+
+def pretty(program: ast.Program) -> str:
+    """Render a whole program back to mini-HJ source text."""
+    printer = _Printer()
+    for struct in program.structs.values():
+        fields = ", ".join(struct.fields)
+        printer.emit(f"struct {struct.name} {{ {fields} }}")
+        printer.emit("")
+    for gdecl in program.globals:
+        if gdecl.init is None:
+            printer.emit(f"var {gdecl.name};")
+        else:
+            printer.emit(f"var {gdecl.name} = {expr_to_str(gdecl.init)};")
+    if program.globals:
+        printer.emit("")
+    for func in program.functions.values():
+        params = ", ".join(p.name for p in func.params)
+        printer.emit(f"def {func.name}({params}) {{")
+        printer.block_body(func.body)
+        printer.emit("}")
+        printer.emit("")
+    return "\n".join(printer.lines).rstrip() + "\n"
+
+
+def stmt_to_str(stmt: ast.Stmt) -> str:
+    """Render a single statement (used in reports and debugging)."""
+    printer = _Printer()
+    printer.stmt(stmt)
+    return "\n".join(printer.lines)

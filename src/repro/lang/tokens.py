@@ -1,0 +1,119 @@
+"""Token definitions for the mini-HJ language.
+
+The language is a small dialect of Habanero Java / X10 restricted to the
+constructs the paper's repair tool needs: functions, structs, globals,
+arrays, structured control flow, and the two parallel constructs ``async``
+and ``finish``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Union
+
+
+class TokenType(enum.Enum):
+    """Kinds of lexical tokens."""
+
+    # Literals and identifiers.
+    INT = "int-literal"
+    FLOAT = "float-literal"
+    STRING = "string-literal"
+    IDENT = "identifier"
+
+    # Keywords.
+    DEF = "def"
+    VAR = "var"
+    STRUCT = "struct"
+    IF = "if"
+    ELSE = "else"
+    WHILE = "while"
+    FOR = "for"
+    RETURN = "return"
+    BREAK = "break"
+    CONTINUE = "continue"
+    ASYNC = "async"
+    FINISH = "finish"
+    NEW = "new"
+    TRUE = "true"
+    FALSE = "false"
+    NULL = "null"
+
+    # Punctuation.
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    LBRACKET = "["
+    RBRACKET = "]"
+    COMMA = ","
+    SEMI = ";"
+    DOT = "."
+
+    # Operators.
+    ASSIGN = "="
+    PLUS_ASSIGN = "+="
+    MINUS_ASSIGN = "-="
+    STAR_ASSIGN = "*="
+    SLASH_ASSIGN = "/="
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+    EQ = "=="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    AND = "&&"
+    OR = "||"
+    NOT = "!"
+    BITAND = "&"
+    BITOR = "|"
+    BITXOR = "^"
+    BITNOT = "~"
+    SHL = "<<"
+    SHR = ">>"
+
+    EOF = "end-of-file"
+
+
+#: Mapping from keyword spelling to its token type.
+KEYWORDS = {
+    "def": TokenType.DEF,
+    "var": TokenType.VAR,
+    "struct": TokenType.STRUCT,
+    "if": TokenType.IF,
+    "else": TokenType.ELSE,
+    "while": TokenType.WHILE,
+    "for": TokenType.FOR,
+    "return": TokenType.RETURN,
+    "break": TokenType.BREAK,
+    "continue": TokenType.CONTINUE,
+    "async": TokenType.ASYNC,
+    "finish": TokenType.FINISH,
+    "new": TokenType.NEW,
+    "true": TokenType.TRUE,
+    "false": TokenType.FALSE,
+    "null": TokenType.NULL,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    ``value`` holds the decoded literal for INT/FLOAT/STRING tokens and the
+    spelling for identifiers; for punctuation it is the token text.
+    """
+
+    type: TokenType
+    value: Union[int, float, str, None]
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.name}, {self.value!r}, {self.line}:{self.column})"

@@ -1,0 +1,175 @@
+"""Static well-formedness checks for mini-HJ programs.
+
+These rules keep the dynamic analysis honest: the interpreter and the
+repair engine may assume every program passed validation.  Checks:
+
+* every referenced variable is declared (lexically) before use;
+* no duplicate declaration in the same scope;
+* ``break``/``continue`` appear only inside loops and do not cross an
+  ``async`` boundary;
+* ``return`` does not appear inside an ``async`` body (a task cannot
+  return from its parent's function, mirroring HJ/X10);
+* every called name is a user function (with the right arity) or a known
+  builtin;
+* ``new S()`` references a declared struct, and a ``main`` function exists.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Set
+
+from ..errors import ValidationError
+from . import ast
+
+
+class _Scope:
+    def __init__(self, parent: Optional["_Scope"]) -> None:
+        self.parent = parent
+        self.names: Set[str] = set()
+
+    def declare(self, name: str, node: ast.Node) -> None:
+        if name in self.names:
+            raise ValidationError(f"duplicate declaration of {name!r}",
+                                  node.line, node.col)
+        self.names.add(name)
+
+    def is_visible(self, name: str) -> bool:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.names:
+                return True
+            scope = scope.parent
+        return False
+
+
+class Validator:
+    """Validates one program; raises :class:`ValidationError` on failure."""
+
+    def __init__(self, program: ast.Program,
+                 builtin_names: Sequence[str] = ()) -> None:
+        self.program = program
+        self.builtin_names = set(builtin_names)
+        self.global_scope = _Scope(None)
+
+    def validate(self, require_main: bool = True) -> None:
+        if require_main and "main" not in self.program.functions:
+            raise ValidationError("program has no 'main' function")
+        for gdecl in self.program.globals:
+            if gdecl.init is not None:
+                self._check_expr(gdecl.init, self.global_scope)
+            self.global_scope.declare(gdecl.name, gdecl)
+        for func in self.program.functions.values():
+            self._check_function(func)
+
+    # ------------------------------------------------------------------
+
+    def _check_function(self, func: ast.FuncDecl) -> None:
+        scope = _Scope(self.global_scope)
+        for param in func.params:
+            scope.declare(param.name, param)
+        self._check_block(func.body, scope, loop_depth=0, async_depth=0)
+
+    def _check_block(self, block: ast.Block, parent: _Scope,
+                     loop_depth: int, async_depth: int) -> None:
+        scope = _Scope(parent)
+        for stmt in block.stmts:
+            self._check_stmt(stmt, scope, loop_depth, async_depth)
+
+    def _check_stmt(self, stmt: ast.Stmt, scope: _Scope,
+                    loop_depth: int, async_depth: int) -> None:
+        if isinstance(stmt, ast.Block):
+            self._check_block(stmt, scope, loop_depth, async_depth)
+        elif isinstance(stmt, ast.VarDecl):
+            if stmt.init is not None:
+                self._check_expr(stmt.init, scope)
+            scope.declare(stmt.name, stmt)
+        elif isinstance(stmt, ast.Assign):
+            self._check_lvalue(stmt.target, scope)
+            self._check_expr(stmt.value, scope)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._check_expr(stmt.expr, scope)
+        elif isinstance(stmt, ast.If):
+            self._check_expr(stmt.cond, scope)
+            self._check_block(stmt.then_block, scope, loop_depth, async_depth)
+            if stmt.else_block is not None:
+                self._check_block(stmt.else_block, scope, loop_depth,
+                                  async_depth)
+        elif isinstance(stmt, ast.While):
+            self._check_expr(stmt.cond, scope)
+            self._check_block(stmt.body, scope, loop_depth + 1, async_depth)
+        elif isinstance(stmt, ast.For):
+            for_scope = _Scope(scope)
+            if stmt.init is not None:
+                self._check_stmt(stmt.init, for_scope, loop_depth, async_depth)
+            if stmt.cond is not None:
+                self._check_expr(stmt.cond, for_scope)
+            if stmt.update is not None:
+                self._check_stmt(stmt.update, for_scope, loop_depth,
+                                 async_depth)
+            self._check_block(stmt.body, for_scope, loop_depth + 1,
+                              async_depth)
+        elif isinstance(stmt, ast.Return):
+            if async_depth > 0:
+                raise ValidationError("return inside async body",
+                                      stmt.line, stmt.col)
+            if stmt.value is not None:
+                self._check_expr(stmt.value, scope)
+        elif isinstance(stmt, ast.Break):
+            if loop_depth <= 0:
+                raise ValidationError("break outside loop", stmt.line, stmt.col)
+        elif isinstance(stmt, ast.Continue):
+            if loop_depth <= 0:
+                raise ValidationError("continue outside loop",
+                                      stmt.line, stmt.col)
+        elif isinstance(stmt, ast.AsyncStmt):
+            # A fresh loop_depth: break/continue may not escape the task.
+            self._check_block(stmt.body, scope, loop_depth=0,
+                              async_depth=async_depth + 1)
+        elif isinstance(stmt, ast.FinishStmt):
+            self._check_block(stmt.body, scope, loop_depth, async_depth)
+        else:
+            raise ValidationError(
+                f"unknown statement {type(stmt).__name__}", stmt.line, stmt.col)
+
+    def _check_lvalue(self, target: ast.Expr, scope: _Scope) -> None:
+        if isinstance(target, ast.VarRef):
+            if not scope.is_visible(target.name):
+                raise ValidationError(f"assignment to undeclared variable "
+                                      f"{target.name!r}", target.line, target.col)
+        elif isinstance(target, (ast.Index, ast.FieldAccess)):
+            self._check_expr(target, scope)
+        else:
+            raise ValidationError("invalid assignment target",
+                                  target.line, target.col)
+
+    def _check_expr(self, expr: ast.Expr, scope: _Scope) -> None:
+        if isinstance(expr, ast.VarRef):
+            if not scope.is_visible(expr.name):
+                raise ValidationError(f"use of undeclared variable "
+                                      f"{expr.name!r}", expr.line, expr.col)
+        elif isinstance(expr, ast.Call):
+            func = self.program.functions.get(expr.name)
+            if func is not None:
+                if len(func.params) != len(expr.args):
+                    raise ValidationError(
+                        f"call to {expr.name!r} with {len(expr.args)} args, "
+                        f"expected {len(func.params)}", expr.line, expr.col)
+            elif expr.name not in self.builtin_names:
+                raise ValidationError(f"call to unknown function {expr.name!r}",
+                                      expr.line, expr.col)
+            for arg in expr.args:
+                self._check_expr(arg, scope)
+        elif isinstance(expr, ast.NewStruct):
+            if expr.struct_name not in self.program.structs:
+                raise ValidationError(f"unknown struct {expr.struct_name!r}",
+                                      expr.line, expr.col)
+        else:
+            for child in expr.children():
+                self._check_expr(child, scope)  # type: ignore[arg-type]
+
+
+def validate(program: ast.Program, builtin_names: Sequence[str] = (),
+             require_main: bool = True) -> None:
+    """Validate ``program``; raise :class:`ValidationError` on the first
+    violation found."""
+    Validator(program, builtin_names).validate(require_main=require_main)

@@ -1,0 +1,31 @@
+"""Dynamic data-race detection: ESP-bags (SRW and MRW) and the MHP oracle."""
+
+from .bags import BagManager, P_BAG, S_BAG
+from .detect import DetectionResult, detect_races
+from .esp import (
+    EspBagsDetector,
+    MrwEspBagsDetector,
+    SrwEspBagsDetector,
+    make_detector,
+)
+from .oracle import OracleDetector
+from .vectorclock import VectorClockDetector
+from .report import DataRace, RaceReport, addr_to_str, merge_reports
+
+__all__ = [
+    "BagManager",
+    "S_BAG",
+    "P_BAG",
+    "DataRace",
+    "RaceReport",
+    "addr_to_str",
+    "merge_reports",
+    "EspBagsDetector",
+    "SrwEspBagsDetector",
+    "MrwEspBagsDetector",
+    "make_detector",
+    "OracleDetector",
+    "VectorClockDetector",
+    "DetectionResult",
+    "detect_races",
+]

@@ -1,0 +1,111 @@
+"""S-bags and P-bags over a union-find forest (Section 4.1).
+
+The ESP-bags algorithm for async/finish programs keeps, during a
+sequential depth-first execution:
+
+* an **S-bag** per task, holding tasks whose completion is *serialized*
+  before the current execution point from that task's perspective;
+* a **P-bag** per finish, holding completed tasks that could still run in
+  *parallel* with the current point (they have terminated, but nothing has
+  joined them yet).
+
+Transitions:
+
+* async ``A`` begins  → S-bag(A) = { A };
+* async ``A`` ends    → move S-bag(A) into P-bag(IEF(A)) where IEF is the
+  immediately-enclosing finish (an implicit whole-program finish if none);
+* finish ``F`` ends   → move P-bag(F) into S-bag(T), where T is the task
+  executing F.
+
+A previous accessor ``W`` races with the current access iff the bag
+containing ``W`` is currently a P-bag.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional
+
+S_BAG = "S"
+P_BAG = "P"
+
+
+class BagManager:
+    """Union-find over task ids with an S/P tag per set root.
+
+    Elements are arbitrary hashable task keys (the detectors use S-DPST
+    node indices).  Finish keys live in a separate namespace supplied by
+    the caller.
+    """
+
+    def __init__(self) -> None:
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._rank: Dict[Hashable, int] = {}
+        self._tag: Dict[Hashable, str] = {}
+        # Representative element of each finish's P-bag (None while empty).
+        self._pbag_rep: Dict[Hashable, Optional[Hashable]] = {}
+
+    # ------------------------------------------------------------------
+    # Union-find core
+    # ------------------------------------------------------------------
+
+    def _find(self, item: Hashable) -> Hashable:
+        parent = self._parent
+        root = item
+        while parent[root] != root:
+            root = parent[root]
+        while parent[item] != root:  # path compression
+            parent[item], item = root, parent[item]
+        return root
+
+    def _union(self, a: Hashable, b: Hashable, tag: str) -> Hashable:
+        ra, rb = self._find(a), self._find(b)
+        if ra is rb or ra == rb:
+            self._tag[ra] = tag
+            return ra
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+        self._tag[ra] = tag
+        return ra
+
+    # ------------------------------------------------------------------
+    # ESP-bags operations
+    # ------------------------------------------------------------------
+
+    def make_s_bag(self, task: Hashable) -> None:
+        """Task begins: S-bag(task) = { task }."""
+        self._parent[task] = task
+        self._rank[task] = 0
+        self._tag[task] = S_BAG
+
+    def register_finish(self, finish: Hashable) -> None:
+        """Finish begins: an empty P-bag."""
+        self._pbag_rep[finish] = None
+
+    def task_ends(self, task: Hashable, enclosing_finish: Hashable) -> None:
+        """Move the (whole set containing) ``task`` into the P-bag of its
+        immediately enclosing finish."""
+        rep = self._pbag_rep.get(enclosing_finish)
+        root = self._find(task)
+        if rep is None:
+            self._tag[root] = P_BAG
+            self._pbag_rep[enclosing_finish] = root
+        else:
+            self._pbag_rep[enclosing_finish] = self._union(rep, root, P_BAG)
+
+    def finish_ends(self, finish: Hashable, owner_task: Hashable) -> None:
+        """Drain the finish's P-bag into the owner task's S-bag."""
+        rep = self._pbag_rep.pop(finish, None)
+        if rep is not None:
+            self._union(rep, owner_task, S_BAG)
+
+    def is_parallel(self, task: Hashable) -> bool:
+        """True iff ``task`` currently sits in a P-bag — i.e. an access it
+        made can run in parallel with the current execution point."""
+        return self._tag[self._find(task)] == P_BAG
+
+    def tag_of(self, task: Hashable) -> str:
+        """The S/P tag of the set containing ``task``."""
+        return self._tag[self._find(task)]

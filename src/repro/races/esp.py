@@ -1,0 +1,219 @@
+"""SRW and MRW ESP-bags race detectors (Section 4.1).
+
+Both detectors run over the same sequential depth-first execution, driven
+by the :class:`~repro.dpst.builder.DpstBuilder`.  They differ only in the
+per-location access summary:
+
+* **SRW** (the original ESP-bags): one writer and one reader per location.
+  O(1) shadow space, but reports only a subset of the races for an input
+  (Figure 7 of the paper), so the repair tool needs a confirming second
+  run after repairing with it.
+* **MRW** (the paper's modification): *all* writers and readers per
+  location, so one run reports every race for the input — at the cost of
+  larger summaries and trace files (Tables 3 and 4 quantify this).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..dpst.builder import DetectorBase
+from ..dpst.nodes import DpstNode
+from ..lang import ast
+from .bags import BagManager
+from .report import DataRace, RaceReport
+
+_IMPLICIT_FINISH = "implicit-root-finish"
+
+
+class _Access:
+    """One recorded access: who (task/step) and where in the source."""
+
+    __slots__ = ("task_key", "step", "node")
+
+    def __init__(self, task_key: int, step: DpstNode,
+                 node: Optional[ast.Node]) -> None:
+        self.task_key = task_key
+        self.step = step
+        self.node = node
+
+
+class EspBagsDetector(DetectorBase):
+    """Common machinery: bag transitions, race recording, the IEF stack."""
+
+    name = "esp-bags"
+
+    def __init__(self) -> None:
+        self.bags = BagManager()
+        self.bags.register_finish(_IMPLICIT_FINISH)
+        # Mixed stack of ("task"|"finish", DpstNode) mirroring execution.
+        self._stack: List[Tuple[str, DpstNode]] = []
+        self.races: List[DataRace] = []
+        self._race_keys = set()
+        #: number of accesses monitored (a proxy for detector overhead)
+        self.monitored_accesses = 0
+
+    # ------------------------------------------------------------------
+    # Structure events
+    # ------------------------------------------------------------------
+
+    def task_begin(self, task: DpstNode) -> None:
+        self.bags.make_s_bag(task.index)
+        self._stack.append(("task", task))
+
+    def task_end(self, task: DpstNode) -> None:
+        kind, node = self._stack.pop()
+        assert kind == "task" and node is task, "unbalanced task events"
+        self.bags.task_ends(task.index, self._enclosing_finish_key())
+
+    def finish_begin(self, finish: DpstNode) -> None:
+        self.bags.register_finish(finish.index)
+        self._stack.append(("finish", finish))
+
+    def finish_end(self, finish: DpstNode) -> None:
+        kind, node = self._stack.pop()
+        assert kind == "finish" and node is finish, "unbalanced finish events"
+        owner = self._enclosing_task_key()
+        self.bags.finish_ends(finish.index, owner)
+
+    def _enclosing_finish_key(self):
+        for kind, node in reversed(self._stack):
+            if kind == "finish":
+                return node.index
+        return _IMPLICIT_FINISH
+
+    def _enclosing_task_key(self) -> int:
+        for kind, node in reversed(self._stack):
+            if kind == "task":
+                return node.index
+        raise AssertionError("no enclosing task on detector stack")
+
+    # ------------------------------------------------------------------
+    # Race recording
+    # ------------------------------------------------------------------
+
+    def _record(self, prior: _Access, addr, kind: str, step: DpstNode,
+                node: Optional[ast.Node],
+                sink_task: Optional[int] = None) -> None:
+        key = (prior.step.index, step.index, addr, kind)
+        if key in self._race_keys:
+            return
+        self._race_keys.add(key)
+        self.races.append(DataRace(prior.step, step, addr, kind,
+                                   prior.node, node,
+                                   source_task=prior.task_key,
+                                   sink_task=sink_task))
+
+    def report(self) -> RaceReport:
+        """The races detected so far."""
+        return RaceReport(list(self.races))
+
+
+class SrwEspBagsDetector(EspBagsDetector):
+    """Single Reader-Writer ESP-bags: the original O(1)-space algorithm."""
+
+    name = "srw-esp-bags"
+
+    def __init__(self) -> None:
+        super().__init__()
+        # addr -> [writer access or None, reader access or None]
+        self.shadow: Dict[Any, List[Optional[_Access]]] = {}
+
+    def on_read(self, addr, task: DpstNode, step: DpstNode,
+                node: ast.Node) -> None:
+        self.monitored_accesses += 1
+        entry = self.shadow.get(addr)
+        if entry is None:
+            entry = [None, None]
+            self.shadow[addr] = entry
+        writer = entry[0]
+        if writer is not None and self.bags.is_parallel(writer.task_key):
+            self._record(writer, addr, "W->R", step, node, task.index)
+        reader = entry[1]
+        # Keep a reader that is still (potentially) parallel; replace a
+        # serialized one with the current access.
+        if reader is None or not self.bags.is_parallel(reader.task_key):
+            entry[1] = _Access(task.index, step, node)
+
+    def on_write(self, addr, task: DpstNode, step: DpstNode,
+                 node: ast.Node) -> None:
+        self.monitored_accesses += 1
+        entry = self.shadow.get(addr)
+        if entry is None:
+            entry = [None, None]
+            self.shadow[addr] = entry
+        writer = entry[0]
+        if writer is not None and self.bags.is_parallel(writer.task_key):
+            self._record(writer, addr, "W->W", step, node, task.index)
+        reader = entry[1]
+        if reader is not None and self.bags.is_parallel(reader.task_key):
+            self._record(reader, addr, "R->W", step, node, task.index)
+        entry[0] = _Access(task.index, step, node)
+
+
+class MrwEspBagsDetector(EspBagsDetector):
+    """Multiple Reader-Writer ESP-bags: all accessors kept per location.
+
+    Guarantees that every data race for the given input is reported in a
+    single run (Section 4.1), which is what lets the repair tool fix all
+    races without re-running the detector between placements.
+
+    Accessor lists are keyed by *task*: two accesses by the same task sit
+    in the same bag forever, so they have identical race verdicts against
+    any later access, and any finish joining the task orders all of its
+    steps at once — one representative access per (task, location) is
+    complete.  This keeps a sequential accumulator (thousands of writes
+    by one task to one cell) at O(1) summary size instead of O(steps),
+    which would otherwise make detection quadratic.
+    """
+
+    name = "mrw-esp-bags"
+
+    def __init__(self) -> None:
+        super().__init__()
+        # addr -> (writers by task key, readers by task key)
+        self.shadow: Dict[Any, Tuple[Dict[int, _Access],
+                                     Dict[int, _Access]]] = {}
+
+    def _entry(self, addr):
+        entry = self.shadow.get(addr)
+        if entry is None:
+            entry = ({}, {})
+            self.shadow[addr] = entry
+        return entry
+
+    def on_read(self, addr, task: DpstNode, step: DpstNode,
+                node: ast.Node) -> None:
+        self.monitored_accesses += 1
+        writers, readers = self._entry(addr)
+        is_parallel = self.bags.is_parallel
+        for writer in writers.values():
+            if is_parallel(writer.task_key):
+                self._record(writer, addr, "W->R", step, node, task.index)
+        readers.setdefault(task.index, _Access(task.index, step, node))
+
+    def on_write(self, addr, task: DpstNode, step: DpstNode,
+                 node: ast.Node) -> None:
+        self.monitored_accesses += 1
+        writers, readers = self._entry(addr)
+        is_parallel = self.bags.is_parallel
+        for writer in writers.values():
+            if is_parallel(writer.task_key):
+                self._record(writer, addr, "W->W", step, node, task.index)
+        for reader in readers.values():
+            if is_parallel(reader.task_key):
+                self._record(reader, addr, "R->W", step, node, task.index)
+        writers.setdefault(task.index, _Access(task.index, step, node))
+
+
+def make_detector(algorithm: str):
+    """Factory: ``"srw"``, ``"mrw"`` (the tool's default, per the paper) or
+    ``"vc"`` (the vector-clock baseline)."""
+    if algorithm == "srw":
+        return SrwEspBagsDetector()
+    if algorithm == "mrw":
+        return MrwEspBagsDetector()
+    if algorithm == "vc":
+        from .vectorclock import VectorClockDetector
+        return VectorClockDetector()
+    raise ValueError(f"unknown detector algorithm {algorithm!r}")

@@ -1,0 +1,159 @@
+"""Data-race records and reports.
+
+A :class:`DataRace` links two S-DPST step nodes: the *source* (earlier in
+the depth-first order) and the *sink* (later).  The repair algorithms only
+need the step pair; the remaining fields (address, access kinds, AST
+nodes) make reports actionable and feed the JSON trace files.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..dpst.nodes import DpstNode
+from ..lang import ast
+
+
+class DataRace:
+    """One detected data race between two steps of an execution."""
+
+    __slots__ = ("source", "sink", "addr", "kind", "source_ast", "sink_ast",
+                 "source_task", "sink_task")
+
+    def __init__(self, source: DpstNode, sink: DpstNode, addr,
+                 kind: str, source_ast: Optional[ast.Node] = None,
+                 sink_ast: Optional[ast.Node] = None,
+                 source_task: Optional[int] = None,
+                 sink_task: Optional[int] = None) -> None:
+        self.source = source
+        self.sink = sink
+        self.addr = addr
+        #: "W->R", "W->W" or "R->W": access kind of source then sink.
+        self.kind = kind
+        self.source_ast = source_ast
+        self.sink_ast = sink_ast
+        #: DPST indices of the tasks that made the accesses (if known).
+        self.source_task = source_task
+        self.sink_task = sink_task
+
+    def step_pair(self) -> Tuple[int, int]:
+        return (self.source.index, self.sink.index)
+
+    def task_sink_pair(self) -> Tuple[Optional[int], int]:
+        """(source task, sink step) — the granularity at which SRW's
+        single-slot summary is guaranteed to be a subset of MRW's."""
+        return (self.source_task, self.sink.index)
+
+    def describe(self) -> str:
+        loc_src = _ast_loc(self.source_ast)
+        loc_sink = _ast_loc(self.sink_ast)
+        return (f"{self.kind} race on {addr_to_str(self.addr)}: "
+                f"{self.source.describe()}{loc_src} -> "
+                f"{self.sink.describe()}{loc_sink}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DataRace({self.describe()})"
+
+
+def _ast_loc(node: Optional[ast.Node]) -> str:
+    if node is None or not node.line:
+        return ""
+    return f" (line {node.line})"
+
+
+def addr_to_str(addr) -> str:
+    """Stable textual form of a memory address."""
+    kind = addr[0]
+    if kind == "cell":
+        return f"var#{addr[1]}"
+    if kind == "elem":
+        return f"array#{addr[1]}[{addr[2]}]"
+    if kind == "field":
+        return f"struct#{addr[1]}.{addr[2]}"
+    return str(addr)
+
+
+class RaceReport:
+    """All races found in one instrumented execution."""
+
+    def __init__(self, races: List[DataRace]) -> None:
+        self.races = races
+
+    def __len__(self) -> int:
+        return len(self.races)
+
+    def __iter__(self):
+        return iter(self.races)
+
+    @property
+    def is_race_free(self) -> bool:
+        return not self.races
+
+    def distinct_step_pairs(self) -> List[Tuple[DpstNode, DpstNode]]:
+        """Unique (source, sink) step pairs, in detection order.
+
+        The finish-placement algorithms work at step-pair granularity: two
+        races between the same steps on different addresses need the same
+        repair.
+        """
+        seen = set()
+        pairs: List[Tuple[DpstNode, DpstNode]] = []
+        for race in self.races:
+            key = race.step_pair()
+            if key not in seen:
+                seen.add(key)
+                pairs.append((race.source, race.sink))
+        return pairs
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for race in self.races:
+            counts[race.kind] = counts.get(race.kind, 0) + 1
+        return counts
+
+    def summary(self) -> str:
+        if self.is_race_free:
+            return "no data races detected"
+        kinds = ", ".join(f"{k}: {v}" for k, v in
+                          sorted(self.counts_by_kind().items()))
+        return (f"{len(self.races)} data race(s) over "
+                f"{len(self.distinct_step_pairs())} step pair(s) [{kinds}]")
+
+    # ------------------------------------------------------------------
+    # Trace-file round trip (the artifact's detector writes trace files
+    # that the analyzer reads; we keep that interface for parity).
+    # ------------------------------------------------------------------
+
+    def to_trace_json(self) -> str:
+        """Serialize the race set to the JSON trace-file format."""
+        rows = [{
+            "source_step": race.source.index,
+            "sink_step": race.sink.index,
+            "addr": list(race.addr),
+            "kind": race.kind,
+            "source_line": getattr(race.source_ast, "line", 0) or 0,
+            "sink_line": getattr(race.sink_ast, "line", 0) or 0,
+        } for race in self.races]
+        return json.dumps({"version": 1, "races": rows})
+
+    @staticmethod
+    def trace_rows(trace_json: str) -> List[Dict[str, Any]]:
+        """Parse a trace file back into plain rows (step indices)."""
+        payload = json.loads(trace_json)
+        if payload.get("version") != 1:
+            raise ValueError("unsupported trace version")
+        return payload["races"]
+
+
+def merge_reports(reports: Iterable[RaceReport]) -> RaceReport:
+    """Concatenate several reports, deduplicating identical races."""
+    seen = set()
+    merged: List[DataRace] = []
+    for report in reports:
+        for race in report:
+            key = (race.step_pair(), race.addr, race.kind)
+            if key not in seen:
+                seen.add(key)
+                merged.append(race)
+    return RaceReport(merged)

@@ -1,0 +1,64 @@
+"""The paper's core contribution: dynamic and static finish placement."""
+
+from .context import (
+    CallSiteRewrite,
+    ContextSensitiveResult,
+    contextualize,
+    parallelism_gain,
+)
+from .coverage import CoverageReport, measure_coverage
+from .bruteforce import (
+    brute_force_placement,
+    enumerate_laminar_families,
+)
+from .dependence import (
+    DepNode,
+    DependenceGraph,
+    build_dependence_graph,
+    group_races_by_nslca,
+)
+from .engine import (
+    MultiInputRepairResult,
+    RepairEngine,
+    RepairIteration,
+    RepairResult,
+    repair_for_inputs,
+    repair_program,
+)
+from .insertion import InsertionFinder, InsertionPoint, valid_algorithm2
+from .placement import (
+    PlacementSolution,
+    covers_all_edges,
+    is_laminar,
+    placement_cost,
+    solve_placement,
+)
+
+__all__ = [
+    "DepNode",
+    "DependenceGraph",
+    "build_dependence_graph",
+    "group_races_by_nslca",
+    "InsertionFinder",
+    "InsertionPoint",
+    "valid_algorithm2",
+    "PlacementSolution",
+    "solve_placement",
+    "placement_cost",
+    "covers_all_edges",
+    "is_laminar",
+    "brute_force_placement",
+    "enumerate_laminar_families",
+    "RepairEngine",
+    "RepairResult",
+    "RepairIteration",
+    "MultiInputRepairResult",
+    "repair_program",
+    "repair_for_inputs",
+    "CoverageReport",
+    "measure_coverage",
+    "contextualize",
+    "ContextSensitiveResult",
+    "CallSiteRewrite",
+    "parallelism_gain",
+]

@@ -1,0 +1,79 @@
+"""Exhaustive finish placement for small dependence graphs.
+
+Enumerates every *laminar* family of intervals over the node range (the
+families expressible as nested/disjoint ``finish`` statements), filters to
+families that cover all race edges and whose every interval is VALID, and
+minimizes the simulated completion time.
+
+This is the optimality oracle for the DP of :mod:`.placement` — Theorem 2
+says Algorithm 1 is optimal, so on any small random instance the DP's cost
+must equal the brute-force minimum.  Exponential; intended for ``n <= 7``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from .placement import covers_all_edges, placement_cost
+
+Interval = Tuple[int, int]
+Family = Tuple[Interval, ...]
+
+
+@lru_cache(maxsize=None)
+def _families(lo: int, hi: int, allow_full: bool) -> Tuple[Family, ...]:
+    """All laminar families over positions ``lo..hi``.
+
+    ``allow_full`` controls whether the interval ``(lo, hi)`` itself may
+    appear (used to prevent infinitely nested duplicates).
+    """
+    if lo > hi:
+        return ((),)
+    results: List[Family] = []
+
+    def rec(start: int, acc: Tuple[Interval, ...]) -> None:
+        if start > hi:
+            results.append(acc)
+            return
+        # Position `start` not covered by a top-level interval here.
+        rec(start + 1, acc)
+        # Or a top-level interval (start, e) with a nested family inside.
+        for e in range(start, hi + 1):
+            if (start, e) == (lo, hi) and not allow_full:
+                continue
+            for inner in _families(start, e, False):
+                rec(e + 1, acc + ((start, e),) + inner)
+
+    rec(lo, ())
+    return tuple(results)
+
+
+def enumerate_laminar_families(n: int) -> Tuple[Family, ...]:
+    """Every laminar interval family over ``0..n-1`` (including empty)."""
+    return _families(0, n - 1, True)
+
+
+def brute_force_placement(times: Sequence[int], is_async: Sequence[bool],
+                          edges: Sequence[Interval],
+                          valid: Optional[Callable[[int, int], bool]] = None
+                          ) -> Optional[Tuple[int, Family]]:
+    """Minimum completion time over all valid covering laminar families.
+
+    Returns ``(cost, family)`` or None when no family works.  Among
+    equal-cost families, prefers the one with fewer intervals (then the
+    lexicographically smallest), making the result deterministic.
+    """
+    n = len(times)
+    best: Optional[Tuple[int, Family]] = None
+    for family in enumerate_laminar_families(n):
+        if not covers_all_edges(edges, family):
+            continue
+        if valid is not None and any(not valid(s, e) for s, e in family):
+            continue
+        cost = placement_cost(times, is_async, list(family))
+        key = (cost, len(family), tuple(sorted(family)))
+        if best is None or key < (best[0], len(best[1]),
+                                  tuple(sorted(best[1]))):
+            best = (cost, tuple(sorted(family)))
+    return best

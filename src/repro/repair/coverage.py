@@ -1,0 +1,159 @@
+"""Test-coverage analysis for repair inputs (paper §9, future work).
+
+Test-driven repair only guarantees race freedom *for the provided
+inputs*: an async statement that never spawned, or a branch that never
+executed, contributes no races and therefore receives no synchronization.
+This module measures how well a set of test inputs exercises the
+program's parallel structure, so a user can judge whether the repaired
+program can be trusted beyond the test set:
+
+* statement coverage — which statements executed at all;
+* async coverage — which async statements actually spawned a task
+  (the critical metric: an unspawned async is entirely unrepaired);
+* finish coverage — which finish statements were entered;
+* branch coverage — which if statements took both directions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence, Set, Tuple
+
+from ..lang import ast
+from ..runtime.interpreter import ExecutionObserver, Interpreter
+
+
+class _CoverageObserver(ExecutionObserver):
+    """Collects executed statements and entered constructs."""
+
+    def __init__(self) -> None:
+        self.executed_stmts: Set[int] = set()
+        self.spawned_asyncs: Set[int] = set()
+        self.entered_finishes: Set[int] = set()
+        self.entered_scopes: Set[Tuple[str, int]] = set()
+
+    def at_statement(self, stmt_nid: int) -> None:
+        self.executed_stmts.add(stmt_nid)
+
+    def enter_async(self, stmt: ast.AsyncStmt) -> None:
+        self.spawned_asyncs.add(stmt.nid)
+
+    def enter_finish(self, stmt: ast.FinishStmt) -> None:
+        self.entered_finishes.add(stmt.nid)
+
+    def enter_scope(self, kind: str, construct_nid: int,
+                    block_nid: int) -> None:
+        self.entered_scopes.add((kind, construct_nid))
+
+
+class CoverageReport:
+    """Coverage of a program's structure by a set of test inputs."""
+
+    def __init__(self, program: ast.Program,
+                 observer: _CoverageObserver) -> None:
+        self._program = program
+        self._observer = observer
+        self.all_stmts = [n for n in ast.walk(program)
+                          if isinstance(n, ast.Stmt)
+                          and not isinstance(n, ast.Block)]
+        self.all_asyncs = [n for n in ast.walk(program)
+                           if isinstance(n, ast.AsyncStmt)]
+        self.all_finishes = [n for n in ast.walk(program)
+                             if isinstance(n, ast.FinishStmt)]
+        self.all_ifs = [n for n in ast.walk(program)
+                        if isinstance(n, ast.If)]
+
+    # ------------------------------------------------------------------
+
+    @property
+    def executed_statements(self) -> int:
+        return sum(1 for s in self.all_stmts
+                   if s.nid in self._observer.executed_stmts)
+
+    @property
+    def statement_coverage(self) -> float:
+        if not self.all_stmts:
+            return 1.0
+        return self.executed_statements / len(self.all_stmts)
+
+    @property
+    def async_coverage(self) -> float:
+        if not self.all_asyncs:
+            return 1.0
+        spawned = sum(1 for a in self.all_asyncs
+                      if a.nid in self._observer.spawned_asyncs)
+        return spawned / len(self.all_asyncs)
+
+    @property
+    def finish_coverage(self) -> float:
+        if not self.all_finishes:
+            return 1.0
+        entered = sum(1 for f in self.all_finishes
+                      if f.nid in self._observer.entered_finishes)
+        return entered / len(self.all_finishes)
+
+    def unspawned_asyncs(self) -> List[ast.AsyncStmt]:
+        """Async statements never executed by any input — the repair has
+        said nothing about them."""
+        return [a for a in self.all_asyncs
+                if a.nid not in self._observer.spawned_asyncs]
+
+    def branch_coverage(self) -> float:
+        """Fraction of if statements whose both directions were taken.
+
+        The then-branch is a scope event; the else direction counts when
+        either the else scope was entered or the statement executed
+        without entering the then scope (condition false, no else block).
+        """
+        if not self.all_ifs:
+            return 1.0
+        full = 0
+        entered = self._observer.entered_scopes
+        for stmt in self.all_ifs:
+            if stmt.nid not in self._observer.executed_stmts:
+                continue
+            then_taken = ("if", stmt.nid) in entered
+            else_taken = ("else", stmt.nid) in entered
+            # The statement ran; if the then scope never appears, the
+            # false direction was taken at least once (and vice versa we
+            # cannot distinguish without per-execution counts, so we use
+            # scope events conservatively).
+            if then_taken and (else_taken or stmt.else_block is None):
+                full += 1
+        return full / len(self.all_ifs)
+
+    @property
+    def is_adequate(self) -> bool:
+        """The headline check: every async spawned at least once."""
+        return not self.unspawned_asyncs()
+
+    def summary(self) -> str:
+        lines = [
+            f"statement coverage: {self.statement_coverage:.0%} "
+            f"({self.executed_statements}/{len(self.all_stmts)})",
+            f"async coverage:     {self.async_coverage:.0%} "
+            f"({len(self.all_asyncs) - len(self.unspawned_asyncs())}"
+            f"/{len(self.all_asyncs)})",
+            f"finish coverage:    {self.finish_coverage:.0%}",
+            f"branch coverage:    {self.branch_coverage():.0%}",
+        ]
+        for stmt in self.unspawned_asyncs():
+            lines.append(f"  WARNING: async at line {stmt.line} never "
+                         "spawned — its races are unobserved and "
+                         "unrepaired")
+        return "\n".join(lines)
+
+
+def measure_coverage(program: ast.Program,
+                     inputs: Sequence[Sequence[Any]],
+                     seed: int = 20140609,
+                     max_ops: int = 200_000_000) -> CoverageReport:
+    """Run the program on every input, accumulating structural coverage.
+
+    Use together with :func:`repro.repair.repair_for_inputs`: if the
+    report is not :attr:`~CoverageReport.is_adequate`, the input set is
+    unsuitable for repair (paper §9's proposed test-coverage analysis).
+    """
+    observer = _CoverageObserver()
+    for args in inputs:
+        Interpreter(program, observer, seed=seed, max_ops=max_ops).run(args)
+    return CoverageReport(program, observer)

@@ -1,0 +1,442 @@
+"""The test-driven repair engine — the full pipeline of Figure 6.
+
+One iteration:
+
+1. **Data race detection** — execute the program sequentially on the test
+   input with an ESP-bags detector, building the S-DPST (Section 4).
+2. **Dynamic finish placement** — group races by NS-LCA, reduce each
+   subtree to a dependence graph, and run the placement DP (Section 5).
+3. **Static finish placement** — map each dynamic placement to an AST
+   block + statement range via the insertion-point search, deduplicate
+   placements that come from different dynamic instances of the same
+   static context, and splice synthetic ``finish`` statements into the
+   program (Section 6).
+
+The engine then re-executes and repeats until the input is race-free.
+Re-execution subsumes the paper's incremental S-DPST updates (steps
+3(e)/3(f)): it is strictly more conservative and keeps every iteration's
+placements computed against ground truth.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..dpst.nodes import DpstNode
+from ..errors import RepairError
+from ..lang import ast, pretty
+from ..lang.transform import (
+    clone_program,
+    find_block,
+    insert_finish,
+    statement_span,
+    synthetic_finishes,
+)
+from ..races.detect import DetectionResult, detect_races
+from ..races.report import RaceReport
+from .dependence import build_dependence_graph, group_races_by_nslca
+from .insertion import InsertionFinder, InsertionPoint, build_scope_table
+from .placement import solve_placement
+
+
+class NslcaPlacement:
+    """What the DP decided at one NS-LCA (kept for reports/debugging)."""
+
+    def __init__(self, nslca_index: int, graph_size: int, edge_count: int,
+                 cost: float, finishes: List[Tuple[int, int]]) -> None:
+        self.nslca_index = nslca_index
+        self.graph_size = graph_size
+        self.edge_count = edge_count
+        self.cost = cost
+        self.finishes = finishes
+
+
+class RepairIteration:
+    """Metrics and decisions of one detect/place/edit round."""
+
+    def __init__(self, index: int, detection: DetectionResult,
+                 placements: List[NslcaPlacement],
+                 edits: List[InsertionPoint],
+                 placement_time_s: float) -> None:
+        self.index = index
+        self.detection = detection
+        self.placements = placements
+        self.edits = edits
+        #: dynamic + static placement wall-clock (Table 2 "Repair Time").
+        self.placement_time_s = placement_time_s
+
+    @property
+    def race_count(self) -> int:
+        return len(self.detection.report)
+
+
+class RepairResult:
+    """Outcome of repairing one program for one test input."""
+
+    def __init__(self, original: ast.Program, repaired: ast.Program,
+                 iterations: List[RepairIteration],
+                 final_detection: DetectionResult, converged: bool) -> None:
+        self.original = original
+        self.repaired = repaired
+        self.iterations = iterations
+        #: the confirming race-free detection run
+        self.final_detection = final_detection
+        self.converged = converged
+
+    @property
+    def repaired_source(self) -> str:
+        return pretty(self.repaired)
+
+    @property
+    def inserted_finish_count(self) -> int:
+        return len(synthetic_finishes(self.repaired))
+
+    @property
+    def total_races_found(self) -> int:
+        return sum(it.race_count for it in self.iterations)
+
+    @property
+    def detection_time_s(self) -> float:
+        """Wall-clock of the *first* detection run (the Table 2 column)."""
+        return self.iterations[0].detection.elapsed_s if self.iterations \
+            else self.final_detection.elapsed_s
+
+    @property
+    def repair_time_s(self) -> float:
+        """Total dynamic+static placement time over all iterations, plus
+        any re-detection runs after the first (they are part of the repair
+        loop, not of the initial detection)."""
+        total = sum(it.placement_time_s for it in self.iterations)
+        total += sum(it.detection.elapsed_s for it in self.iterations[1:])
+        total += self.final_detection.elapsed_s
+        return total
+
+    @property
+    def dpst_node_count(self) -> int:
+        return self.iterations[0].detection.dpst_node_count if \
+            self.iterations else self.final_detection.dpst_node_count
+
+    def summary(self) -> str:
+        status = "converged" if self.converged else "NOT converged"
+        return (f"repair {status} in {len(self.iterations)} iteration(s); "
+                f"{self.total_races_found} race(s) observed, "
+                f"{self.inserted_finish_count} finish(es) inserted")
+
+
+class RepairEngine:
+    """Configurable driver for test-driven repair."""
+
+    def __init__(self, algorithm: str = "mrw", max_iterations: int = 20,
+                 seed: int = 20140609, max_ops: int = 200_000_000,
+                 trace_roundtrip: bool = True) -> None:
+        if max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        self.algorithm = algorithm
+        self.max_iterations = max_iterations
+        self.seed = seed
+        self.max_ops = max_ops
+        #: serialize + reparse the race trace each iteration, mirroring the
+        #: artifact's trace-file pipeline (and its cost profile).
+        self.trace_roundtrip = trace_roundtrip
+
+    # ------------------------------------------------------------------
+
+    def repair(self, program: ast.Program,
+               args: Sequence[Any] = ()) -> RepairResult:
+        """Repair ``program`` for the single test input ``args``."""
+        work = clone_program(program)
+        iterations: List[RepairIteration] = []
+        previous_pairs: Optional[int] = None
+        stalled = 0
+        for iteration in range(self.max_iterations):
+            detection = detect_races(work, args, algorithm=self.algorithm,
+                                     seed=self.seed, max_ops=self.max_ops)
+            if detection.report.is_race_free:
+                return RepairResult(program, work, iterations, detection,
+                                    converged=True)
+            pair_count = len(detection.report.distinct_step_pairs())
+            if previous_pairs is not None and pair_count >= previous_pairs:
+                stalled += 1
+                if stalled >= 2:
+                    raise RepairError(
+                        "repair is not making progress: the racing step-pair "
+                        f"count stayed at {pair_count} for {stalled + 1} "
+                        "iterations — the remaining races are not fixable by "
+                        "lexical finish insertion")
+            else:
+                stalled = 0
+            previous_pairs = pair_count
+            start = time.perf_counter()
+            step_pairs = self._step_pairs(detection)
+            placements, edits = self._compute_placements(
+                work, detection, step_pairs)
+            if not edits:
+                raise RepairError(
+                    "races remain but no finish placement was produced — "
+                    "the program cannot be repaired by finish insertion")
+            self._apply_edits(work, edits)
+            elapsed = time.perf_counter() - start
+            iterations.append(RepairIteration(
+                iteration, detection, placements, edits, elapsed))
+        final = detect_races(work, args, algorithm=self.algorithm,
+                             seed=self.seed, max_ops=self.max_ops)
+        return RepairResult(program, work, iterations, final,
+                            converged=final.report.is_race_free)
+
+    # ------------------------------------------------------------------
+    # Phase 2 + 3: placements
+    # ------------------------------------------------------------------
+
+    def _step_pairs(self, detection: DetectionResult
+                    ) -> List[Tuple[DpstNode, DpstNode]]:
+        """Distinct racing step pairs — optionally via the trace-file
+        round trip used by the paper's artifact."""
+        if not self.trace_roundtrip:
+            return detection.report.distinct_step_pairs()
+        trace = detection.report.to_trace_json()
+        rows = RaceReport.trace_rows(trace)
+        by_index: Dict[int, DpstNode] = {
+            node.index: node for node in detection.dpst.walk()}
+        seen = set()
+        pairs: List[Tuple[DpstNode, DpstNode]] = []
+        for row in rows:
+            key = (row["source_step"], row["sink_step"])
+            if key in seen:
+                continue
+            seen.add(key)
+            pairs.append((by_index[key[0]], by_index[key[1]]))
+        return pairs
+
+    def _compute_placements(self, work: ast.Program,
+                            detection: DetectionResult,
+                            step_pairs) -> Tuple[List[NslcaPlacement],
+                                                 List[InsertionPoint]]:
+        tree = detection.dpst
+        groups = group_races_by_nslca(tree, step_pairs)
+        stmt_positions = _statement_positions(work)
+        finder = InsertionFinder(stmt_positions, build_scope_table(work))
+        span_cache: Dict[int, Tuple[int, int]] = {}
+        placements: List[NslcaPlacement] = []
+        edits: Dict[Tuple[int, int, int], InsertionPoint] = {}
+        for nslca, group in groups.items():
+            graph = build_dependence_graph(tree, nslca, group, span_cache)
+            is_async = [n.is_async for n in graph.nodes]
+
+            def sinks_of(i: int, k: int, _g=graph):
+                """Sinks of the edges a finish around i..k covers."""
+                return sorted({y for x, y in _g.edges if i <= x <= k < y})
+
+            def valid(i: int, k: int, _g=graph, _n=nslca) -> bool:
+                return finder.valid(_n, _g.nodes, i, k, sinks_of(i, k, _g))
+
+            solution = solve_placement(graph.times(), is_async,
+                                       graph.edges, valid)
+            if solution is None:
+                raise RepairError(
+                    f"no valid finish placement exists at NS-LCA "
+                    f"{nslca.describe()} (n={graph.size}, "
+                    f"{len(graph.edges)} edges)")
+            placements.append(NslcaPlacement(
+                nslca.index, graph.size, len(graph.edges),
+                solution.cost, solution.finishes))
+            for s, e in solution.finishes:
+                point = finder.find(nslca, graph.nodes, s, e,
+                                    sinks_of(s, e, graph))
+                if point is None:  # pragma: no cover - valid() guarantees it
+                    raise RepairError(
+                        f"placement ({s}, {e}) at {nslca.describe()} has no "
+                        "insertion point despite passing VALID")
+                edits.setdefault(point.edit_key(), point)
+        accepted = self._filter_nested_edits(work, stmt_positions,
+                                             list(edits.values()))
+        return placements, accepted
+
+    def _filter_nested_edits(self, work: ast.Program, stmt_positions,
+                             edits: List[InsertionPoint]
+                             ) -> List[InsertionPoint]:
+        """Drop edits nested inside other edits of the same iteration.
+
+        Different dynamic instances of one static context can propose
+        placements at different granularities (the paper's Section 6.2
+        "overlapping subproblems" case) — e.g. the top mergesort instance
+        wraps both recursive asyncs while a near-leaf instance, seeing
+        races from only one child, wraps a single async.  Applying both
+        would over-synchronize.  Edits are considered in NS-LCA order
+        (outermost dynamic context first); an edit whose region nests
+        inside — or around — an already-accepted region is deferred: if
+        the accepted edit does not fix its races, the next engine
+        iteration will see them again and repair whatever remains.
+        """
+        block_parents = _block_parents(work)
+        accepted: List[InsertionPoint] = []
+        regions: List[Tuple[int, int, int]] = []
+        for point in edits:
+            lo = stmt_positions[point.start_stmt][1]
+            hi = stmt_positions[point.end_stmt][1]
+            region = (point.block_nid, lo, hi)
+            if any(_regions_nested(block_parents, region, other)
+                   for other in regions):
+                continue
+            accepted.append(point)
+            regions.append(region)
+        return accepted
+
+    # ------------------------------------------------------------------
+    # Phase 3: AST surgery
+    # ------------------------------------------------------------------
+
+    def _apply_edits(self, work: ast.Program,
+                     edits: List[InsertionPoint]) -> None:
+        by_block: Dict[int, List[Tuple[int, int]]] = {}
+        for point in edits:
+            block = find_block(work, point.block_nid)
+            span = statement_span(block, [point.start_stmt, point.end_stmt])
+            by_block.setdefault(point.block_nid, []).append(span)
+        for block_nid, spans in by_block.items():
+            for start, end in sorted(_merge_spans(spans), reverse=True):
+                insert_finish(work, block_nid, start, end)
+
+
+def _merge_spans(spans: List[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    """Union overlapping/adjacent-by-overlap statement ranges.
+
+    Distinct dynamic instances of one NS-LCA context can propose slightly
+    different (but overlapping) ranges; a single wider finish covers all
+    of them and stays well-formed.
+    """
+    merged: List[Tuple[int, int]] = []
+    for start, end in sorted(set(spans)):
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def _block_parents(program: ast.Program) -> Dict[int, Tuple[int, int]]:
+    """For every block: the (block, statement index) that contains it."""
+    parents: Dict[int, Tuple[int, int]] = {}
+    for node in ast.walk(program):
+        if not isinstance(node, ast.Block):
+            continue
+        for idx, stmt in enumerate(node.stmts):
+            stack = [stmt]
+            while stack:
+                current = stack.pop()
+                if isinstance(current, ast.Block):
+                    parents[current.nid] = (node.nid, idx)
+                    continue  # deeper blocks resolve via their own parent
+                stack.extend(current.children())
+    return parents
+
+
+def _region_covers(block_parents: Dict[int, Tuple[int, int]],
+                   outer: Tuple[int, int, int],
+                   inner: Tuple[int, int, int]) -> bool:
+    """Is the statement region ``inner`` textually inside ``outer``?"""
+    outer_block, outer_lo, outer_hi = outer
+    block, lo, hi = inner
+    if block == outer_block:
+        return outer_lo <= lo and hi <= outer_hi
+    current = block
+    while True:
+        parent = block_parents.get(current)
+        if parent is None:
+            return False
+        current, idx = parent
+        if current == outer_block:
+            return outer_lo <= idx <= outer_hi
+
+
+def _regions_nested(block_parents: Dict[int, Tuple[int, int]],
+                    a: Tuple[int, int, int],
+                    b: Tuple[int, int, int]) -> bool:
+    """True if one region is inside the other (including same-block
+    overlap, which the span merge would otherwise widen blindly)."""
+    return (_region_covers(block_parents, a, b)
+            or _region_covers(block_parents, b, a))
+
+
+def _statement_positions(program: ast.Program) -> Dict[int, Tuple[int, int]]:
+    """Map every statement id to (enclosing block id, index in block)."""
+    positions: Dict[int, Tuple[int, int]] = {}
+    for node in ast.walk(program):
+        if isinstance(node, ast.Block):
+            for idx, stmt in enumerate(node.stmts):
+                positions[stmt.nid] = (node.nid, idx)
+    return positions
+
+
+class MultiInputRepairResult:
+    """Outcome of repairing a program over several test inputs."""
+
+    def __init__(self, original: ast.Program, repaired: ast.Program,
+                 per_input: List[RepairResult], rounds: int,
+                 converged: bool) -> None:
+        self.original = original
+        self.repaired = repaired
+        #: one RepairResult per (round, input) pass, in execution order
+        self.per_input = per_input
+        self.rounds = rounds
+        self.converged = converged
+
+    @property
+    def repaired_source(self) -> str:
+        return pretty(self.repaired)
+
+    @property
+    def inserted_finish_count(self) -> int:
+        return len(synthetic_finishes(self.repaired))
+
+    def summary(self) -> str:
+        status = "converged" if self.converged else "NOT converged"
+        return (f"multi-input repair {status} after {self.rounds} round(s); "
+                f"{self.inserted_finish_count} finish(es) inserted")
+
+
+def repair_for_inputs(program: ast.Program, inputs: Sequence[Sequence[Any]],
+                      algorithm: str = "mrw", max_rounds: int = 5,
+                      **engine_kwargs) -> MultiInputRepairResult:
+    """Apply the repair tool iteratively over several test inputs.
+
+    This is the workflow of Section 2: a single repair guarantees race
+    freedom only for its own input (it may exploit input-specific
+    structure, e.g. an empty recursion branch).  Repairing for each input
+    in turn, and looping until a full round finds every input race-free,
+    yields a program that is race-free for all of them.
+    """
+    if not inputs:
+        raise ValueError("inputs must not be empty")
+    engine = RepairEngine(algorithm=algorithm, **engine_kwargs)
+    work = clone_program(program)
+    passes: List[RepairResult] = []
+    for round_index in range(max_rounds):
+        clean = True
+        for args in inputs:
+            result = engine.repair(work, args)
+            passes.append(result)
+            work = result.repaired
+            if result.iterations or not result.converged:
+                clean = False
+        if clean:
+            return MultiInputRepairResult(program, work, passes,
+                                          round_index + 1, converged=True)
+    return MultiInputRepairResult(program, work, passes, max_rounds,
+                                  converged=False)
+
+
+def repair_program(program: ast.Program, args: Sequence[Any] = (),
+                   algorithm: str = "mrw", max_iterations: int = 20,
+                   seed: int = 20140609, max_ops: int = 200_000_000,
+                   trace_roundtrip: bool = True) -> RepairResult:
+    """One-call repair: returns a race-free (for ``args``) program copy.
+
+    Raises :class:`~repro.errors.RepairError` when no finish insertion can
+    repair the program (e.g. the race is between two halves of one loop
+    iteration range that no lexical finish can separate).
+    """
+    engine = RepairEngine(algorithm=algorithm, max_iterations=max_iterations,
+                          seed=seed, max_ops=max_ops,
+                          trace_roundtrip=trace_roundtrip)
+    return engine.repair(program, args)

@@ -1,0 +1,250 @@
+"""Dynamic finish placement: the interval dynamic program of Section 5.2.
+
+Given the dependence graph of one NS-LCA (nodes in left-to-right order,
+execution times ``t_i``, race edges ``(x, y)`` with ``x < y``), compute a
+minimum-cost set of finish placements ``{(s, e)}`` such that every edge is
+covered (``s <= x <= e < y`` for some placement) and every placement is
+VALID (insertable without capturing the excluded neighbours).
+
+This implements Algorithm 1 (the DP over ``Opt``/``Partition``/``Finish``
+with the EST recurrences of Figures 12 and 13), Algorithm 3 (``FIND``,
+with the recursion fixed to ``FIND(p+1, end)`` to match Algorithm 1's
+``i..k / k+1..j`` split), and the optimal-substructure cases:
+
+* no edge crosses the partition — no finish; the right part starts as
+  soon as the left part's synchronous prefix is done;
+* edges cross — a finish is forced around the left part (if VALID), and
+  the right part starts only at the left part's completion.
+
+Ties in cost are broken toward a smaller earliest-start-time for whatever
+follows, then toward the smaller partition point — which reproduces the
+paper's worked Fibonacci example (Figure 14: the finish wraps only the two
+asyncs, not the preceding step).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import RepairError
+
+INF = float("inf")
+
+ValidFn = Callable[[int, int], bool]
+
+
+class PlacementSolution:
+    """Result of the DP: the optimal cost and the finish set."""
+
+    def __init__(self, cost: float, finishes: List[Tuple[int, int]],
+                 est_after: float) -> None:
+        #: optimal COST(G): the earliest completion time of the whole range.
+        self.cost = cost
+        #: finish placements as inclusive (start, end) node-index pairs.
+        self.finishes = sorted(finishes)
+        #: earliest start time of a hypothetical node after the range.
+        self.est_after = est_after
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PlacementSolution(cost={self.cost}, finishes={self.finishes})"
+
+
+def _first_cross_table(n: int,
+                       edges: Sequence[Tuple[int, int]]) -> List[List[int]]:
+    """``table[i][k]`` = the smallest edge sink ``y > k`` over sources in
+    ``i..k`` (or ``n`` if none).  ``succ(i..k) âˆ© {k+1..j} != empty`` is then
+    simply ``table[i][k] <= j``."""
+    succs: List[List[int]] = [[] for _ in range(n)]
+    for x, y in edges:
+        succs[x].append(y)
+    for lst in succs:
+        lst.sort()
+
+    def min_succ_gt(x: int, k: int) -> int:
+        lst = succs[x]
+        pos = bisect_right(lst, k)
+        return lst[pos] if pos < len(lst) else n
+
+    table = [[n] * n for _ in range(n)]
+    for k in range(n):
+        best = n
+        for i in range(k, -1, -1):
+            cand = min_succ_gt(i, k)
+            if cand < best:
+                best = cand
+            table[i][k] = best
+    return table
+
+
+def solve_placement(times: Sequence[int], is_async: Sequence[bool],
+                    edges: Sequence[Tuple[int, int]],
+                    valid: Optional[ValidFn] = None
+                    ) -> Optional[PlacementSolution]:
+    """Run Algorithm 1 + Algorithm 3.  Returns None when no valid finish
+    placement covers all edges (the caller decides how to fail).
+
+    ``valid(i, k)`` answers whether a finish may wrap nodes ``i..k``
+    (0-based, inclusive) without capturing node ``i-1`` or ``k+1``;
+    defaults to always-true (pure graph problems, used heavily in tests).
+    """
+    n = len(times)
+    if n == 0:
+        raise RepairError("empty dependence graph")
+    if len(is_async) != n:
+        raise RepairError("times/is_async length mismatch")
+    for x, y in edges:
+        if not (0 <= x < y < n):
+            raise RepairError(f"bad edge ({x}, {y}) for n={n}")
+        if not is_async[x]:
+            raise RepairError(f"edge source {x} is not an async node")
+
+    if valid is None:
+        valid = lambda i, k: True  # noqa: E731 - trivial default
+    valid_cache: Dict[Tuple[int, int], bool] = {}
+
+    def is_valid(i: int, k: int) -> bool:
+        key = (i, k)
+        cached = valid_cache.get(key)
+        if cached is None:
+            cached = valid(i, k)
+            valid_cache[key] = cached
+        return cached
+
+    first_cross = _first_cross_table(n, edges)
+
+    opt = [[INF] * n for _ in range(n)]
+    est_after = [[INF] * n for _ in range(n)]
+    part = [[-1] * n for _ in range(n)]
+    fin = [[False] * n for _ in range(n)]
+
+    for i in range(n):
+        opt[i][i] = times[i]
+        est_after[i][i] = 0 if is_async[i] else times[i]
+        part[i][i] = i
+
+    for s in range(2, n + 1):
+        for i in range(n - s + 1):
+            j = i + s - 1
+            best_c = INF
+            best_e = INF
+            best_k = -1
+            best_f = False
+            row_fc = first_cross[i]
+            for k in range(i, j):
+                left_opt = opt[i][k]
+                right_opt = opt[k + 1][j]
+                if left_opt == INF or right_opt == INF:
+                    continue
+                if row_fc[k] > j:
+                    # No dependence crosses the partition: no finish.
+                    c = left_opt
+                    alt = est_after[i][k] + right_opt
+                    if alt > c:
+                        c = alt
+                    e = est_after[i][k] + est_after[k + 1][j]
+                    f = False
+                elif is_valid(i, k):
+                    # A finish around i..k satisfies the crossing edges.
+                    c = left_opt + right_opt
+                    e = left_opt + est_after[k + 1][j]
+                    f = True
+                else:
+                    continue
+                if c < best_c or (c == best_c and e < best_e):
+                    best_c, best_e, best_k, best_f = c, e, k, f
+            opt[i][j] = best_c
+            est_after[i][j] = best_e
+            part[i][j] = best_k
+            fin[i][j] = best_f
+
+    if opt[0][n - 1] == INF:
+        return None
+
+    finishes: List[Tuple[int, int]] = []
+
+    def find(begin: int, end: int) -> None:
+        """Algorithm 3 (FIND), with the off-by-one in the paper's listing
+        corrected: the right subproblem is ``p+1..end``."""
+        if begin >= end:
+            return
+        p = part[begin][end]
+        find(begin, p)
+        find(p + 1, end)
+        if fin[begin][end]:
+            finishes.append((begin, p))
+
+    find(0, n - 1)
+    return PlacementSolution(opt[0][n - 1], finishes, est_after[0][n - 1])
+
+
+# ----------------------------------------------------------------------
+# Independent cost model (shared by tests and the brute-force oracle)
+# ----------------------------------------------------------------------
+
+def is_laminar(intervals: Sequence[Tuple[int, int]]) -> bool:
+    """True if every pair of intervals is nested or disjoint."""
+    for a in range(len(intervals)):
+        s1, e1 = intervals[a]
+        for b in range(a + 1, len(intervals)):
+            s2, e2 = intervals[b]
+            # Only *strict* partial overlap breaks laminarity; intervals
+            # sharing an endpoint but nested (e.g. (4,4) inside (4,5)) are
+            # fine — they are a finish at the start of another finish.
+            if s1 < s2 <= e1 < e2 or s2 < s1 <= e2 < e1:
+                return False
+    return True
+
+
+def covers_all_edges(edges: Sequence[Tuple[int, int]],
+                     intervals: Sequence[Tuple[int, int]]) -> bool:
+    """Every edge (x, y) needs some (s, e) with s <= x <= e < y."""
+    for x, y in edges:
+        if not any(s <= x <= e < y for s, e in intervals):
+            return False
+    return True
+
+
+def placement_cost(times: Sequence[int], is_async: Sequence[bool],
+                   intervals: Sequence[Tuple[int, int]]) -> int:
+    """Completion time of the node sequence under the given (laminar)
+    finish placements — computed by direct simulation of the async/finish
+    semantics, independently of the DP recurrences.
+
+    Used as the ground-truth cost model: the DP's ``Opt`` must agree with
+    this simulation on its own output.
+    """
+    if not is_laminar(intervals):
+        raise RepairError(f"finish intervals are not laminar: {intervals}")
+    n = len(times)
+    unique = sorted(set(intervals), key=lambda iv: (iv[0], -iv[1]))
+
+    def eval_range(lo: int, hi: int, enclosing: List[Tuple[int, int]]
+                   ) -> Tuple[int, int]:
+        """(sync advance, completion) of positions lo..hi, where
+        ``enclosing`` are the not-yet-consumed intervals inside lo..hi."""
+        clock = 0
+        completion = 0
+        pos = lo
+        while pos <= hi:
+            # The widest interval starting at pos (if any) becomes a finish.
+            starting = [iv for iv in enclosing if iv[0] == pos]
+            if starting:
+                s, e = max(starting, key=lambda iv: iv[1])
+                inner = [iv for iv in enclosing
+                         if iv != (s, e) and s <= iv[0] and iv[1] <= e]
+                _, comp = eval_range(s, e, inner)
+                completion = max(completion, clock + comp)
+                clock += comp  # finish: the parent waits
+                pos = e + 1
+            else:
+                if is_async[pos]:
+                    completion = max(completion, clock + times[pos])
+                else:
+                    clock += times[pos]
+                    completion = max(completion, clock)
+                pos += 1
+        return clock, max(completion, clock)
+
+    _, comp = eval_range(0, n - 1, unique)
+    return comp

@@ -1,0 +1,61 @@
+"""Lexical environments for the interpreter.
+
+An :class:`Environment` maps names to :class:`~repro.runtime.values.Cell`
+objects.  Child environments are created for blocks, loop iterations and
+function frames; ``async`` bodies share the defining environment chain, so
+tasks capture enclosing variables *by reference* — which is exactly what
+lets the race detector observe task/parent conflicts on locals.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..errors import RuntimeFault
+from .values import Cell
+
+
+class Environment:
+    """A single lexical scope level."""
+
+    __slots__ = ("parent", "bindings")
+
+    def __init__(self, parent: Optional["Environment"] = None) -> None:
+        self.parent = parent
+        self.bindings: dict = {}
+
+    def child(self) -> "Environment":
+        """Create a nested scope."""
+        return Environment(self)
+
+    def define(self, name: str, value: Any = None) -> Cell:
+        """Bind ``name`` to a fresh cell in this scope.
+
+        Shadowing an outer binding is allowed; redefining within the same
+        scope is a validation-level error and simply rebinds here.
+        """
+        cell = Cell(name, value)
+        self.bindings[name] = cell
+        return cell
+
+    def lookup(self, name: str) -> Cell:
+        """Find the cell for ``name``, walking outwards.
+
+        Raises :class:`RuntimeFault` if unbound (validation should have
+        rejected the program already).
+        """
+        env: Optional[Environment] = self
+        while env is not None:
+            cell = env.bindings.get(name)
+            if cell is not None:
+                return cell
+            env = env.parent
+        raise RuntimeFault(f"undefined variable {name!r}")
+
+    def is_bound(self, name: str) -> bool:
+        env: Optional[Environment] = self
+        while env is not None:
+            if name in env.bindings:
+                return True
+            env = env.parent
+        return False

@@ -1,0 +1,110 @@
+"""Runtime values and shared-memory addressing for the interpreter.
+
+Every mutable storage location in a program execution has a unique,
+hashable *address*:
+
+* ``("cell", cell_id)`` — a variable binding (local, parameter or global);
+* ``("elem", array_id, index)`` — one array element;
+* ``("field", struct_id, name)`` — one struct field.
+
+The race detectors key their shadow memory by these addresses, which gives
+element-granularity monitoring exactly like the byte-level instrumentation
+of the paper's PIR pass.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Tuple
+
+Address = Tuple[Any, ...]
+
+_ids = itertools.count(1)
+
+
+def _fresh_id() -> int:
+    return next(_ids)
+
+
+class Cell:
+    """A single variable binding with a unique address."""
+
+    __slots__ = ("value", "addr", "name")
+
+    def __init__(self, name: str, value: Any = None) -> None:
+        self.name = name
+        self.value = value
+        self.addr: Address = ("cell", _fresh_id())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Cell({self.name}={self.value!r})"
+
+
+class ArrayValue:
+    """A fixed-length mutable array.
+
+    ``fill`` is the element written by allocation; element addresses are
+    stable for the array's lifetime.
+    """
+
+    __slots__ = ("items", "array_id")
+
+    def __init__(self, length: int, fill: Any = 0) -> None:
+        self.items: List[Any] = [fill] * length
+        self.array_id = _fresh_id()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def element_addr(self, index: int) -> Address:
+        return ("elem", self.array_id, index)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        preview = ", ".join(repr(v) for v in self.items[:8])
+        suffix = ", ..." if len(self.items) > 8 else ""
+        return f"Array#{self.array_id}[{preview}{suffix}]"
+
+
+class StructValue:
+    """An instance of a ``struct`` declaration; fields start as null."""
+
+    __slots__ = ("struct_name", "fields", "struct_id")
+
+    def __init__(self, struct_name: str, field_names: List[str]) -> None:
+        self.struct_name = struct_name
+        self.fields: Dict[str, Any] = {name: None for name in field_names}
+        self.struct_id = _fresh_id()
+
+    def field_addr(self, name: str) -> Address:
+        return ("field", self.struct_id, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.struct_name}#{self.struct_id}({self.fields})"
+
+
+#: Fill values by written element type in ``new <type>[n]``.
+DEFAULT_FILL = {"int": 0, "double": 0.0, "boolean": False}
+
+
+def default_fill(elem_type: str) -> Any:
+    """Allocation fill value for an array of the given written type."""
+    return DEFAULT_FILL.get(elem_type, None)
+
+
+def to_display(value: Any) -> str:
+    """Render a runtime value the way ``print`` shows it."""
+    if value is None:
+        return "null"
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    if isinstance(value, ArrayValue):
+        return "[" + ", ".join(to_display(v) for v in value.items) + "]"
+    if isinstance(value, StructValue):
+        inner = ", ".join(f"{k}={to_display(v)}"
+                          for k, v in value.fields.items())
+        return f"{value.struct_name}({inner})"
+    return str(value)

@@ -1,0 +1,112 @@
+"""Graphviz (DOT) exports for the analysis artefacts.
+
+Three views of one execution, mirroring the paper's figures:
+
+* :func:`dpst_to_dot` — the S-DPST with race edges (paper Figure 9);
+* :func:`dependence_graph_to_dot` — the per-NS-LCA dependence DAG the
+  placement DP runs on (paper Figure 11);
+* :func:`computation_graph_to_dot` — the step-level spawn/continue/join
+  DAG behind the work/span/schedule numbers.
+
+Pure text generation — no graphviz dependency; feed the output to
+``dot -Tsvg`` (or any renderer) yourself.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from .dpst.nodes import ASYNC, FINISH, SCOPE, STEP, DpstNode
+from .dpst.tree import Dpst
+from .graph.computation import ComputationGraph
+from .races.report import RaceReport
+from .repair.dependence import DependenceGraph
+
+_KIND_STYLE = {
+    ASYNC: 'shape=ellipse, style=filled, fillcolor="#aed6f1"',
+    FINISH: 'shape=ellipse, style=filled, fillcolor="#a9dfbf"',
+    SCOPE: 'shape=box, style="filled,rounded", fillcolor="#f2f3f4"',
+    STEP: 'shape=box, style=filled, fillcolor="#fdebd0"',
+}
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def dpst_to_dot(tree: Dpst, report: Optional[RaceReport] = None,
+                max_nodes: int = 400) -> str:
+    """Render the S-DPST (optionally with dashed race edges) as DOT."""
+    lines: List[str] = ["digraph sdpst {", "  rankdir=TB;",
+                        '  node [fontname="Helvetica", fontsize=10];']
+    count = 0
+    included = set()
+
+    def visit(node: DpstNode) -> None:
+        nonlocal count
+        if count >= max_nodes:
+            return
+        count += 1
+        included.add(node.index)
+        label = node.describe()
+        if node.kind == STEP and node.cost:
+            label += f"\\ncost={node.cost}"
+        lines.append(f'  n{node.index} [label="{_escape(label)}", '
+                     f'{_KIND_STYLE[node.kind]}];')
+        for child in node.children:
+            if count >= max_nodes:
+                break
+            visit(child)
+            lines.append(f"  n{node.index} -> n{child.index};")
+
+    visit(tree.root)
+    if report is not None:
+        for race in report:
+            if race.source.index in included \
+                    and race.sink.index in included:
+                lines.append(
+                    f"  n{race.source.index} -> n{race.sink.index} "
+                    f'[style=dashed, color=red, constraint=false, '
+                    f'label="{_escape(race.kind)}"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def dependence_graph_to_dot(graph: DependenceGraph) -> str:
+    """Render a dependence graph (Figure 11 style) as DOT."""
+    lines = ["digraph dependence {", "  rankdir=LR;",
+             '  node [fontname="Helvetica", fontsize=10];']
+    for node in graph.nodes:
+        kind = node.first.kind
+        label = node.first.describe()
+        if node.is_coalesced:
+            label += f"..{node.last.describe()}"
+        label += f"\\nt={node.time}"
+        lines.append(f'  d{node.position} [label="{_escape(label)}", '
+                     f'{_KIND_STYLE[kind]}];')
+    for x, y in graph.edges:
+        lines.append(f"  d{x} -> d{y} [color=red];")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def computation_graph_to_dot(graph: ComputationGraph,
+                             highlight_critical_path: bool = True) -> str:
+    """Render the step-level computation DAG as DOT."""
+    critical: Iterable[int] = ()
+    if highlight_critical_path:
+        critical = set(graph.critical_path())
+    lines = ["digraph computation {", "  rankdir=LR;",
+             '  node [fontname="Helvetica", fontsize=10, shape=box];']
+    for idx in graph.order:
+        style = ', style=filled, fillcolor="#f5b7b1"' if idx in critical \
+            else ""
+        lines.append(f'  s{idx} [label="step {idx}\\ncost='
+                     f'{graph.cost[idx]}"{style}];')
+    for idx in graph.order:
+        for pred in graph.preds[idx]:
+            color = ' [color=red, penwidth=2]' \
+                if idx in critical and pred in critical else ""
+            lines.append(f"  s{pred} -> s{idx}{color};")
+    lines.append("}")
+    return "\n".join(lines)

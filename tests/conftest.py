@@ -1,0 +1,60 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang import parse, validate
+from repro.runtime import BUILTIN_NAMES, run_program
+
+
+def build(source: str, require_main: bool = True):
+    """Parse + validate a mini-HJ program (most tests want both)."""
+    program = parse(source)
+    validate(program, BUILTIN_NAMES, require_main=require_main)
+    return program
+
+
+def run(source: str, args=()):
+    """Parse, validate and execute; returns the output lines."""
+    return run_program(build(source), args).output
+
+
+@pytest.fixture
+def fib_source() -> str:
+    """The paper's Figure 8 program (unsynchronized Fibonacci)."""
+    return """
+    struct BoxInteger { v }
+
+    def fib(ret, n) {
+        if (n < 2) {
+            ret.v = n;
+            return;
+        }
+        var X = new BoxInteger();
+        var Y = new BoxInteger();
+        async fib(X, n - 1);
+        async fib(Y, n - 2);
+        ret.v = X.v + Y.v;
+    }
+
+    def main(n) {
+        var result = new BoxInteger();
+        async fib(result, n);
+        print(result.v);
+    }
+    """
+
+
+@pytest.fixture
+def figure7_source() -> str:
+    """Figure 7: two parallel readers, one later writer."""
+    return """
+    var x = 0;
+
+    def main() {
+        async { var a = x; print(a); }
+        async { var b = x; print(b); }
+        async { x = 1; }
+    }
+    """

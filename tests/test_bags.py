@@ -1,0 +1,96 @@
+"""ESP-bags union-find structure: S/P transitions (Section 4.1)."""
+
+from repro.races.bags import BagManager, P_BAG, S_BAG
+
+
+class TestBagTransitions:
+    def test_new_task_is_serialized(self):
+        bags = BagManager()
+        bags.make_s_bag("t1")
+        assert bags.tag_of("t1") == S_BAG
+        assert not bags.is_parallel("t1")
+
+    def test_task_end_moves_to_pbag(self):
+        bags = BagManager()
+        bags.register_finish("f")
+        bags.make_s_bag("child")
+        bags.task_ends("child", "f")
+        assert bags.is_parallel("child")
+
+    def test_finish_end_serializes(self):
+        bags = BagManager()
+        bags.make_s_bag("parent")
+        bags.register_finish("f")
+        bags.make_s_bag("child")
+        bags.task_ends("child", "f")
+        assert bags.is_parallel("child")
+        bags.finish_ends("f", "parent")
+        assert not bags.is_parallel("child")
+        # The parent stays serialized too.
+        assert not bags.is_parallel("parent")
+
+    def test_empty_finish_end_is_noop(self):
+        bags = BagManager()
+        bags.make_s_bag("parent")
+        bags.register_finish("f")
+        bags.finish_ends("f", "parent")
+        assert bags.tag_of("parent") == S_BAG
+
+    def test_multiple_children_same_pbag(self):
+        bags = BagManager()
+        bags.register_finish("f")
+        for child in ("a", "b", "c"):
+            bags.make_s_bag(child)
+            bags.task_ends(child, "f")
+        assert all(bags.is_parallel(c) for c in ("a", "b", "c"))
+        bags.make_s_bag("owner")
+        bags.finish_ends("f", "owner")
+        assert not any(bags.is_parallel(c) for c in ("a", "b", "c"))
+
+    def test_implicit_finish_never_drains(self):
+        bags = BagManager()
+        bags.register_finish("F0")
+        bags.make_s_bag("dangling")
+        bags.task_ends("dangling", "F0")
+        assert bags.is_parallel("dangling")
+
+    def test_nested_finish_composition(self):
+        # inner finish joins a task into the middle task's S-bag; when the
+        # middle task ends, everything moves to the outer P-bag together.
+        bags = BagManager()
+        bags.make_s_bag("root")
+        bags.register_finish("outer")
+        bags.make_s_bag("middle")
+        bags.register_finish("inner")
+        bags.make_s_bag("leaf")
+        bags.task_ends("leaf", "inner")
+        bags.finish_ends("inner", "middle")
+        assert not bags.is_parallel("leaf")  # joined w.r.t. middle
+        bags.task_ends("middle", "outer")
+        assert bags.is_parallel("leaf")      # middle dangles inside outer
+        assert bags.is_parallel("middle")
+        bags.finish_ends("outer", "root")
+        assert not bags.is_parallel("leaf")
+        assert not bags.is_parallel("middle")
+
+    def test_task_drained_set_travels_as_one(self):
+        bags = BagManager()
+        bags.make_s_bag("t")
+        bags.register_finish("f1")
+        bags.make_s_bag("a")
+        bags.task_ends("a", "f1")
+        bags.finish_ends("f1", "t")       # a joins t's S-bag
+        bags.register_finish("f2")
+        bags.task_ends("t", "f2")         # whole set becomes parallel
+        assert bags.is_parallel("a")
+        assert bags.is_parallel("t")
+
+    def test_union_find_path_compression_consistency(self):
+        bags = BagManager()
+        bags.register_finish("f")
+        for i in range(100):
+            bags.make_s_bag(i)
+            bags.task_ends(i, "f")
+        roots = {bags._find(i) for i in range(100)}
+        assert len(roots) == 1
+        assert all(bags.is_parallel(i) for i in range(100))

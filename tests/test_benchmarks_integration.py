@@ -1,0 +1,97 @@
+"""Integration tests over the 12-benchmark suite (Section 7.1) at tiny
+test inputs: the original is race-free, the stripped version is racy, the
+repair converges, and the repaired program is output-equivalent to the
+serial elision with performance at least matching the original's shape.
+"""
+
+import pytest
+
+from repro.bench import BENCHMARK_ORDER, get_benchmark
+from repro.graph import measure_program
+from repro.lang import count_finishes, serial_elision, strip_finishes, validate
+from repro.races import detect_races
+from repro.repair import repair_program
+from repro.runtime import BUILTIN_NAMES, run_program
+
+
+@pytest.fixture(scope="module")
+def repaired_cache():
+    cache = {}
+
+    def get(name):
+        if name not in cache:
+            spec = get_benchmark(name)
+            buggy = strip_finishes(spec.parse())
+            cache[name] = (spec, repair_program(buggy, spec.test_args))
+        return cache[name]
+
+    return get
+
+
+@pytest.mark.parametrize("name", BENCHMARK_ORDER)
+class TestBenchmarkSuite:
+    def test_source_is_valid(self, name, repaired_cache):
+        spec = get_benchmark(name)
+        validate(spec.parse(), BUILTIN_NAMES)
+
+    def test_original_is_race_free(self, name, repaired_cache):
+        spec = get_benchmark(name)
+        det = detect_races(spec.parse(), spec.test_args)
+        assert det.report.is_race_free, det.report.summary()
+
+    def test_stripped_version_races(self, name, repaired_cache):
+        spec = get_benchmark(name)
+        buggy = strip_finishes(spec.parse())
+        assert count_finishes(buggy) == 0
+        det = detect_races(buggy, spec.test_args)
+        assert not det.report.is_race_free
+
+    def test_repair_converges(self, name, repaired_cache):
+        spec, result = repaired_cache(name)
+        assert result.converged, result.summary()
+        assert result.inserted_finish_count >= 1
+
+    def test_repaired_is_race_free(self, name, repaired_cache):
+        spec, result = repaired_cache(name)
+        det = detect_races(result.repaired, spec.test_args)
+        assert det.report.is_race_free
+
+    def test_repaired_output_equals_serial_elision(self, name,
+                                                   repaired_cache):
+        spec, result = repaired_cache(name)
+        elided = serial_elision(spec.parse())
+        out_repaired = run_program(result.repaired, spec.test_args).output
+        out_elided = run_program(elided, spec.test_args).output
+        assert out_repaired == out_elided
+
+    def test_original_output_equals_serial_elision(self, name,
+                                                   repaired_cache):
+        spec = get_benchmark(name)
+        out_original = run_program(spec.parse(), spec.test_args).output
+        out_elided = run_program(serial_elision(spec.parse()),
+                                 spec.test_args).output
+        assert out_original == out_elided
+
+    def test_repaired_cpl_close_to_original(self, name, repaired_cache):
+        # The Figure 16 claim at test scale: the repaired program keeps
+        # parallelism comparable to the expert-written original (allow a
+        # 2x band; tiny inputs have noisy constant factors).
+        spec, result = repaired_cache(name)
+        original = measure_program(spec.parse(), spec.test_args, 12)
+        repaired = measure_program(result.repaired, spec.test_args, 12)
+        assert repaired.span <= 2 * original.span + 50
+
+
+class TestSuiteMetadata:
+    def test_twelve_benchmarks(self):
+        assert len(BENCHMARK_ORDER) == 12
+
+    def test_lookup_error_lists_names(self):
+        with pytest.raises(KeyError, match="fibonacci"):
+            get_benchmark("not-a-benchmark")
+
+    def test_specs_have_all_input_sizes(self):
+        for name in BENCHMARK_ORDER:
+            spec = get_benchmark(name)
+            assert spec.repair_args and spec.perf_args and spec.test_args
+            assert spec.suite in ("HJ Bench", "BOTS", "JGF", "Shootout")

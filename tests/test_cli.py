@@ -1,0 +1,145 @@
+"""The repro-repair command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+RACY = """
+var x = 0;
+def main() {
+    async { x = 1; }
+    print(x);
+}
+"""
+
+CLEAN = """
+var x = 0;
+def main() {
+    finish { async { x = 1; } }
+    print(x);
+}
+"""
+
+
+@pytest.fixture
+def racy_file(tmp_path):
+    path = tmp_path / "racy.hj"
+    path.write_text(RACY)
+    return str(path)
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.hj"
+    path.write_text(CLEAN)
+    return str(path)
+
+
+class TestDetect:
+    def test_detect_reports_races(self, racy_file, capsys):
+        code = main(["detect", racy_file])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "1 data race(s)" in out
+
+    def test_detect_clean_program(self, clean_file, capsys):
+        code = main(["detect", clean_file])
+        assert code == 0
+        assert "no data races" in capsys.readouterr().out
+
+    def test_detect_srw(self, racy_file, capsys):
+        assert main(["detect", racy_file, "--algorithm", "srw"]) == 1
+
+    def test_strip_finishes_option(self, clean_file):
+        assert main(["detect", clean_file, "--strip-finishes"]) == 1
+
+
+class TestRepair:
+    def test_repair_prints_fixed_source(self, racy_file, capsys):
+        code = main(["repair", racy_file])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "finish {" in captured.out
+        assert "converged" in captured.err
+
+    def test_repair_to_output_file(self, racy_file, tmp_path, capsys):
+        out_file = tmp_path / "fixed.hj"
+        code = main(["repair", racy_file, "-o", str(out_file)])
+        assert code == 0
+        # The written file must itself be race-free.
+        assert main(["detect", str(out_file)]) == 0
+
+    def test_repair_with_args(self, tmp_path):
+        path = tmp_path / "p.hj"
+        path.write_text("""
+        var x = 0;
+        def main(n) {
+            async { x = n; }
+            print(x);
+        }""")
+        assert main(["repair", str(path), "--arg", "5"]) == 0
+
+
+class TestMeasure:
+    def test_measure_outputs_metrics(self, clean_file, capsys):
+        code = main(["measure", clean_file, "--processors", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "T1" in out and "Tinf" in out and "speedup" in out
+
+    def test_measure_sequential(self, clean_file, capsys):
+        assert main(["measure", clean_file, "--sequential"]) == 0
+
+
+class TestBench:
+    def test_bench_quick_table4(self, capsys):
+        code = main(["bench", "--quick", "--benchmarks", "fibonacci",
+                     "--experiments", "table4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fibonacci" in out
+
+    def test_bench_unknown_experiment(self, capsys):
+        assert main(["bench", "--experiments", "tableX"]) == 2
+
+
+class TestCoverage:
+    def test_coverage_adequate(self, racy_file, capsys):
+        code = main(["coverage", racy_file, "--inputs", ""])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "async coverage" in out
+
+    def test_coverage_flags_missing_input(self, tmp_path, capsys):
+        path = tmp_path / "branchy.hj"
+        path.write_text("""
+        var x = 0;
+        def main(n) {
+            if (n > 10) { async { x = 1; } }
+            print(x);
+        }""")
+        assert main(["coverage", str(path), "--inputs", "5"]) == 1
+        assert "WARNING" in capsys.readouterr().out
+        assert main(["coverage", str(path), "--inputs", "5", "20"]) == 0
+
+
+class TestDot:
+    def test_dpst_dot(self, racy_file, capsys):
+        assert main(["dot", racy_file]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph sdpst")
+
+    def test_graph_dot(self, clean_file, capsys):
+        assert main(["dot", clean_file, "--view", "graph"]) == 0
+        assert capsys.readouterr().out.startswith("digraph computation")
+
+
+class TestErrors:
+    def test_missing_file(self, capsys):
+        assert main(["detect", "/nonexistent/p.hj"]) == 2
+
+    def test_parse_error_reported(self, tmp_path, capsys):
+        path = tmp_path / "bad.hj"
+        path.write_text("def main( {")
+        assert main(["detect", str(path)]) == 2
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,116 @@
+"""Context-sensitive finishes via call-site specialization (§9)."""
+
+import pytest
+
+from repro.lang import ast, parse, serial_elision
+from repro.races import detect_races
+from repro.repair import repair_program
+from repro.repair.context import contextualize, parallelism_gain
+from repro.runtime import run_program
+from tests.conftest import build
+
+#: `produce` races internally only when the caller passes check=true; the
+#: repair puts a finish inside `produce`, penalizing every caller.  The
+#: context-sensitive pass lets check=false call sites drop it.
+CONDITIONAL = """
+def produce(a, check) {
+    async {
+        var s = 0;
+        for (var i = 0; i < 30; i = i + 1) { s = s + i; }
+        a[0] = s;
+    }
+    if (check) {
+        print(a[0]);
+    }
+}
+
+def main() {
+    var x = new int[1];
+    produce(x, true);
+    var y = new int[1];
+    finish {
+        produce(y, false);
+        var s = 0;
+        for (var i = 0; i < 30; i = i + 1) { s = s + i; }
+        print(s);
+    }
+    print(y[0]);
+}
+"""
+
+
+class TestSpecialization:
+    def test_conditional_context_drops_finish(self):
+        result = repair_program(build(CONDITIONAL))
+        ctx = contextualize(result)
+        assert ctx.improved, ctx.summary()
+        assert "produce__nofinish" in ctx.program.functions
+        # The specialized program stays race-free and output-equivalent.
+        assert detect_races(ctx.program).report.is_race_free
+        out = run_program(ctx.program).output
+        elided = run_program(serial_elision(build(CONDITIONAL))).output
+        assert out == elided
+
+    def test_gain_is_never_negative(self):
+        result = repair_program(build(CONDITIONAL))
+        ctx = contextualize(result)
+        base, specialized = parallelism_gain(ctx, ())
+        assert specialized <= base
+
+    def test_racy_context_keeps_finish(self):
+        result = repair_program(build(CONDITIONAL))
+        ctx = contextualize(result)
+        rewritten = {r.caller for r in ctx.rewrites}
+        # The check=true call (races internally) must not be rewritten to
+        # the unsynchronized variant; verify by re-detecting.
+        assert detect_races(ctx.program).report.is_race_free
+        assert rewritten  # at least the safe context was specialized
+
+    def test_internal_race_blocks_specialization(self, fib_source):
+        # fib's finish guards `ret.v = X.v + Y.v` — needed in *every*
+        # context, so no call site can be specialized.
+        result = repair_program(build(fib_source), (6,))
+        ctx = contextualize(result, (6,))
+        assert not ctx.improved
+        assert "fib__nofinish" not in ctx.program.functions
+
+    def test_no_synthetic_finishes_no_op(self):
+        source = """
+        var x = 0;
+        def main() { finish { async { x = 1; } } print(x); }
+        """
+        result = repair_program(build(source))
+        ctx = contextualize(result)
+        assert not ctx.improved
+        assert "no call site" in ctx.summary()
+
+    def test_summary_describes_rewrites(self):
+        result = repair_program(build(CONDITIONAL))
+        ctx = contextualize(result)
+        assert "produce__nofinish" in ctx.summary()
+
+    def test_variant_recursion_stays_in_variant(self):
+        source = """
+        def tree(a, n) {
+            if (n > 0) {
+                async tree(a, n - 1);
+            }
+            if (n == 9) {
+                a[0] = a[0] + 1;
+                print(a[0]);
+            }
+        }
+        def main() {
+            var a = new int[1];
+            finish { tree(a, 3); }
+            print(a[0]);
+        }
+        """
+        result = repair_program(build(source))
+        ctx = contextualize(result)
+        for name, func in ctx.program.functions.items():
+            if name.endswith("__nofinish"):
+                for node in ast.walk(func):
+                    if isinstance(node, ast.Call) \
+                            and node.name.startswith("tree"):
+                        assert node.name == name

@@ -1,0 +1,177 @@
+"""Dependence-graph construction from NS-LCA subtrees (Section 5.1)."""
+
+import pytest
+
+from repro.dpst import ASYNC, STEP
+from repro.errors import RepairError
+from repro.races import detect_races
+from repro.repair.dependence import (
+    DepNode,
+    build_dependence_graph,
+    group_races_by_nslca,
+)
+from tests.conftest import build
+
+
+def analyzed(source: str, args=()):
+    det = detect_races(build(source), args)
+    pairs = det.report.distinct_step_pairs()
+    groups = group_races_by_nslca(det.dpst, pairs)
+    return det, groups
+
+
+class TestGrouping:
+    def test_single_group_for_flat_races(self, figure7_source):
+        det, groups = analyzed(figure7_source)
+        assert len(groups) == 1
+        assert list(groups)[0] is det.dpst.root
+
+    def test_groups_per_recursion_level(self, fib_source):
+        det, groups = analyzed(fib_source, (4,))
+        # Every racy fib invocation contributes its own NS-LCA, plus the
+        # one in main.
+        assert len(groups) > 1
+
+    def test_groups_ordered_by_index(self, fib_source):
+        _, groups = analyzed(fib_source, (5,))
+        indices = [n.index for n in groups]
+        assert indices == sorted(indices)
+
+
+class TestGraphConstruction:
+    def test_figure7_graph(self, figure7_source):
+        det, groups = analyzed(figure7_source)
+        nslca, pairs = next(iter(groups.items()))
+        graph = build_dependence_graph(det.dpst, nslca, pairs)
+        async_nodes = [n for n in graph.nodes if n.is_async]
+        assert len(async_nodes) == 3
+        # Two edges: A1 -> A3 and A2 -> A3.
+        assert len(graph.edges) == 2
+        sinks = {y for _, y in graph.edges}
+        assert len(sinks) == 1
+
+    def test_edge_sources_are_asyncs(self, figure7_source):
+        det, groups = analyzed(figure7_source)
+        nslca, pairs = next(iter(groups.items()))
+        graph = build_dependence_graph(det.dpst, nslca, pairs)
+        for x, _ in graph.edges:
+            assert graph.nodes[x].is_async
+
+    def test_times_are_positive_spans(self, figure7_source):
+        det, groups = analyzed(figure7_source)
+        nslca, pairs = next(iter(groups.items()))
+        graph = build_dependence_graph(det.dpst, nslca, pairs)
+        assert all(n.time > 0 for n in graph.nodes if n.is_async)
+
+    def test_edges_deduplicated(self):
+        det, groups = analyzed("""
+        def main() {
+            var a = new int[4];
+            async { a[0] = 1; a[1] = 1; }
+            print(a[0] + a[1]);
+        }""")
+        nslca, pairs = next(iter(groups.items()))
+        graph = build_dependence_graph(det.dpst, nslca, pairs)
+        assert len(graph.edges) == len(set(graph.edges)) == 1
+
+    def test_empty_nslca_children_rejected(self):
+        det, _ = analyzed("def main() { print(1); }")
+        leaf = det.dpst.steps()[0]
+        with pytest.raises(RepairError):
+            build_dependence_graph(det.dpst, leaf, [])
+
+
+class TestCoalescing:
+    def test_step_runs_without_edges_merge(self):
+        det, groups = analyzed("""
+        var x = 0;
+        def main() {
+            var a = 0;
+            for (var i = 0; i < 20; i = i + 1) { a = a + i; }
+            async { x = 1; }
+            print(x);
+        }""")
+        nslca, pairs = next(iter(groups.items()))
+        graph = build_dependence_graph(det.dpst, nslca, pairs)
+        # Twenty loop-iteration steps collapse; the graph stays tiny.
+        assert graph.size <= 6
+        coalesced = [n for n in graph.nodes if n.is_coalesced]
+        assert coalesced
+        assert all(n.first.kind == STEP for n in coalesced)
+
+    def test_asyncs_never_merge(self):
+        det, groups = analyzed("""
+        var x = 0;
+        def main() {
+            async { x = x + 1; }
+            async { x = x + 1; }
+            async { x = x + 1; }
+            print(x);
+        }""")
+        nslca, pairs = next(iter(groups.items()))
+        graph = build_dependence_graph(det.dpst, nslca, pairs)
+        assert sum(1 for n in graph.nodes if n.is_async) == 3
+
+    def test_coalesced_time_is_sum(self):
+        det, groups = analyzed("""
+        var x = 0;
+        def main() {
+            var a = 0;
+            a = a + 1;
+            a = a + 2;
+            async { x = 1; }
+            print(x);
+        }""")
+        nslca, pairs = next(iter(groups.items()))
+        graph = build_dependence_graph(det.dpst, nslca, pairs)
+        total_step_cost = sum(s.cost for s in det.dpst.steps())
+        assert sum(n.time for n in graph.nodes if not n.is_async) \
+            <= total_step_cost
+
+    def test_sinks_with_distinct_sources_stay_separate_when_small(self):
+        det, groups = analyzed("""
+        var x = 0;
+        var y = 0;
+        def main() {
+            async { x = 1; }
+            print(x);
+            async { y = 1; }
+            print(y);
+        }""")
+        nslca, pairs = next(iter(groups.items()))
+        graph = build_dependence_graph(det.dpst, nslca, pairs)
+        assert len(graph.edges) == 2
+        # Each read races with its own async.
+        assert len({y for _, y in graph.edges}) == 2
+
+    def test_fallback_merging_caps_node_count(self):
+        # Alternating sinks with different sources: exact coalescing can't
+        # merge them, the fallback must.
+        parts = []
+        for i in range(30):
+            parts.append(f"async {{ g{i} = 1; }}")
+            parts.append(f"print(g{i});")
+        decls = "\n".join(f"var g{i} = 0;" for i in range(30))
+        source = decls + "\ndef main() {\n" + "\n".join(parts) + "\n}"
+        det, groups = analyzed(source)
+        nslca, pairs = next(iter(groups.items()))
+        graph = build_dependence_graph(det.dpst, nslca, pairs, max_nodes=10)
+        assert graph.size <= 61  # far fewer than the raw child count
+        # Every edge still has an async source after fallback merging.
+        for x, _ in graph.edges:
+            assert graph.nodes[x].is_async
+        # Sinks merged conservatively: edges still cover each original
+        # sink (the merged node is never left of its source).
+        for x, y in graph.edges:
+            assert x < y
+
+
+class TestDepNode:
+    def test_singleton_properties(self, figure7_source):
+        det, groups = analyzed(figure7_source)
+        nslca, pairs = next(iter(groups.items()))
+        graph = build_dependence_graph(det.dpst, nslca, pairs)
+        node = graph.nodes[0]
+        assert node.dpst is node.first
+        assert not graph.nodes[0].is_async or \
+            graph.nodes[0].first.kind == ASYNC

@@ -1,0 +1,130 @@
+"""Direct unit tests of the repair engine's helper machinery."""
+
+import pytest
+
+from repro.lang import parse
+from repro.repair.engine import (
+    _block_parents,
+    _merge_spans,
+    _region_covers,
+    _regions_nested,
+    _statement_positions,
+)
+
+
+class TestMergeSpans:
+    def test_disjoint_kept(self):
+        assert _merge_spans([(0, 1), (3, 4)]) == [(0, 1), (3, 4)]
+
+    def test_overlapping_merged(self):
+        assert _merge_spans([(0, 2), (2, 4)]) == [(0, 4)]
+        assert _merge_spans([(0, 3), (1, 2)]) == [(0, 3)]
+
+    def test_unsorted_input(self):
+        assert _merge_spans([(5, 6), (0, 1), (1, 2)]) == [(0, 2), (5, 6)]
+
+    def test_duplicates_collapse(self):
+        assert _merge_spans([(1, 2), (1, 2)]) == [(1, 2)]
+
+    def test_adjacent_not_merged(self):
+        # (0,1) and (2,3) do not overlap: two separate finishes are fine.
+        assert _merge_spans([(0, 1), (2, 3)]) == [(0, 1), (2, 3)]
+
+
+PROGRAM = """
+def helper() {
+    print(0);
+}
+def main() {
+    print(1);
+    if (true) {
+        print(2);
+        while (false) {
+            print(3);
+        }
+    }
+    print(4);
+}
+"""
+
+
+class TestStatementPositions:
+    def test_every_statement_mapped(self):
+        program = parse(PROGRAM)
+        positions = _statement_positions(program)
+        main_block = program.main.body
+        for idx, stmt in enumerate(main_block.stmts):
+            assert positions[stmt.nid] == (main_block.nid, idx)
+
+    def test_nested_blocks_have_own_positions(self):
+        program = parse(PROGRAM)
+        positions = _statement_positions(program)
+        if_stmt = program.main.body.stmts[1]
+        inner = if_stmt.then_block.stmts[0]
+        assert positions[inner.nid] == (if_stmt.then_block.nid, 0)
+
+
+class TestBlockParents:
+    def test_parent_chain(self):
+        program = parse(PROGRAM)
+        parents = _block_parents(program)
+        if_stmt = program.main.body.stmts[1]
+        then_block = if_stmt.then_block
+        assert parents[then_block.nid] == (program.main.body.nid, 1)
+        while_stmt = then_block.stmts[1]
+        assert parents[while_stmt.body.nid] == (then_block.nid, 1)
+
+    def test_function_bodies_have_no_parent(self):
+        program = parse(PROGRAM)
+        parents = _block_parents(program)
+        assert program.main.body.nid not in parents
+
+
+class TestRegionNesting:
+    @pytest.fixture
+    def ctx(self):
+        program = parse(PROGRAM)
+        parents = _block_parents(program)
+        main_block = program.main.body
+        if_stmt = main_block.stmts[1]
+        then_block = if_stmt.then_block
+        while_body = then_block.stmts[1].body
+        return parents, main_block, then_block, while_body
+
+    def test_same_block_containment(self, ctx):
+        parents, main_block, *_ = ctx
+        outer = (main_block.nid, 0, 2)
+        inner = (main_block.nid, 1, 1)
+        assert _region_covers(parents, outer, inner)
+        assert not _region_covers(parents, inner, outer)
+
+    def test_same_block_partial_overlap_not_nested(self, ctx):
+        parents, main_block, *_ = ctx
+        a = (main_block.nid, 0, 1)
+        b = (main_block.nid, 1, 2)
+        assert not _regions_nested(parents, a, b)
+
+    def test_cross_block_nesting(self, ctx):
+        parents, main_block, then_block, while_body = ctx
+        # A region over main stmts 1..1 (the if) covers anything inside
+        # the then-block and the while body.
+        outer = (main_block.nid, 1, 1)
+        assert _region_covers(parents, outer, (then_block.nid, 0, 0))
+        assert _region_covers(parents, outer, (while_body.nid, 0, 0))
+        assert _regions_nested(parents, (then_block.nid, 0, 0), outer)
+
+    def test_unrelated_blocks(self, ctx):
+        parents, main_block, then_block, _ = ctx
+        program = parse(PROGRAM)
+        helper_block = program.functions["helper"].body
+        helper_parents = _block_parents(program)
+        assert not _regions_nested(helper_parents,
+                                   (helper_block.nid, 0, 0),
+                                   (program.main.body.nid, 0, 2))
+
+    def test_region_outside_range_not_covered(self, ctx):
+        parents, main_block, then_block, _ = ctx
+        # The if statement is index 1; a region over index 0 only does
+        # not cover the then-block.
+        outer = (main_block.nid, 0, 0)
+        assert not _region_covers(parents, outer, (then_block.nid, 0, 0))

@@ -1,0 +1,46 @@
+"""The error hierarchy and error-reporting contracts."""
+
+import pytest
+
+from repro.errors import (
+    LexError,
+    ParseError,
+    RepairError,
+    ReproError,
+    RuntimeFault,
+    SourceError,
+    StepLimitExceeded,
+    ValidationError,
+)
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for cls in (SourceError, LexError, ParseError, ValidationError,
+                    RuntimeFault, StepLimitExceeded, RepairError):
+            assert issubclass(cls, ReproError)
+
+    def test_source_errors_carry_position(self):
+        err = ParseError("bad token", 3, 7)
+        assert err.line == 3
+        assert err.column == 7
+        assert "3:7" in str(err)
+        assert err.bare_message == "bad token"
+
+    def test_position_optional(self):
+        err = RuntimeFault("boom")
+        assert err.line is None
+        assert str(err) == "boom"
+
+    def test_step_limit_is_runtime_fault(self):
+        assert issubclass(StepLimitExceeded, RuntimeFault)
+
+    def test_one_catch_at_tool_boundary(self):
+        # The CLI catches ReproError; every library error must be caught.
+        from repro.lang import parse
+        with pytest.raises(ReproError):
+            parse("def ( {")
+
+    def test_column_unknown_rendering(self):
+        err = LexError("odd", 5, None)
+        assert "5:?" in str(err)

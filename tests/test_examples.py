@@ -1,0 +1,55 @@
+"""The example scripts run end-to-end (subprocess smoke tests)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+FAST = ["quickstart.py", "placement_tradeoffs.py", "race_detective.py",
+        "coverage_and_context.py"]
+SLOW = ["sorting_repair.py", "classroom_grading.py"]
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=600)
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+@pytest.mark.parametrize("name", FAST)
+def test_fast_examples(name):
+    out = run_example(name)
+    assert out.strip()
+
+
+def test_quickstart_reproduces_figure15():
+    out = run_example("quickstart.py")
+    assert "repair converged" in out
+    assert "fib( 10 ) = 55" in out
+    assert "matches the serial elision: OK" in out
+
+
+def test_placement_tradeoffs_matches_figure4():
+    out = run_example("placement_tradeoffs.py")
+    assert "CPL = 1510" in out
+    assert "CPL = 1110" in out
+    assert "CPL = 1100" in out          # the true optimum the DP finds
+    assert "optimal on this instance: OK" in out
+
+
+def test_race_detective_shows_srw_gap():
+    out = run_example("race_detective.py")
+    assert "SRW ESP-bags: 1 data race(s)" in out
+    assert "MRW ESP-bags: 2 data race(s)" in out
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", SLOW)
+def test_slow_examples(name):
+    out = run_example(name)
+    assert out.strip()

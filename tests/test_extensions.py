@@ -1,0 +1,152 @@
+"""The paper's §9 future-work extensions: S-DPST pruning and
+test-coverage analysis for repair inputs."""
+
+import pytest
+
+from repro.dpst import prune_race_free
+from repro.graph.computation import span_parts
+from repro.lang import parse, strip_finishes
+from repro.races import detect_races
+from repro.repair import measure_coverage, repair_for_inputs
+from repro.repair.dependence import (
+    build_dependence_graph,
+    group_races_by_nslca,
+)
+from tests.conftest import build
+
+
+class TestPruning:
+    SOURCE = """
+    var x = 0;
+    def busywork(n) {
+        var s = 0;
+        for (var i = 0; i < n; i = i + 1) { s = s + i; }
+        return s;
+    }
+    def main() {
+        finish { async { busywork(20); } }    // race-free subtree
+        busywork(30);                          // race-free scope
+        async { x = 1; }                       // racy
+        print(x);
+    }
+    """
+
+    def _detect(self):
+        return detect_races(build(self.SOURCE))
+
+    def test_prune_removes_nodes(self):
+        det = self._detect()
+        before = det.dpst.node_count()
+        removed = prune_race_free(det.dpst, det.report)
+        assert removed > 0
+        assert det.dpst.node_count() == before - removed
+
+    def test_prune_preserves_total_span(self):
+        det = self._detect()
+        span_before = span_parts(det.dpst.root, {})[1]
+        prune_race_free(det.dpst, det.report)
+        assert span_parts(det.dpst.root, {})[1] == span_before
+
+    def test_race_endpoints_survive(self):
+        det = self._detect()
+        sources = {r.source for r in det.report}
+        sinks = {r.sink for r in det.report}
+        prune_race_free(det.dpst, det.report)
+        alive = set(det.dpst.walk())
+        assert sources <= alive
+        assert sinks <= alive
+
+    def test_placement_still_works_on_pruned_tree(self):
+        det = self._detect()
+        prune_race_free(det.dpst, det.report)
+        pairs = det.report.distinct_step_pairs()
+        groups = group_races_by_nslca(det.dpst, pairs)
+        for nslca, group in groups.items():
+            graph = build_dependence_graph(det.dpst, nslca, group)
+            assert graph.edges
+
+    def test_prune_on_race_free_program_collapses_everything(self):
+        det = detect_races(build(
+            "def main() { finish { async { print(1); } } print(2); }"))
+        assert det.report.is_race_free
+        removed = prune_race_free(det.dpst, det.report)
+        assert removed >= 0
+        # The pruned tree is tiny: root plus a handful of summaries.
+        assert det.dpst.node_count() <= 6
+
+    def test_quicksort_prunes_substantially(self):
+        from repro.bench import get_benchmark
+        spec = get_benchmark("quicksort")
+        det = detect_races(strip_finishes(spec.parse()), (50,))
+        before = det.dpst.node_count()
+        span = span_parts(det.dpst.root, {})[1]
+        removed = prune_race_free(det.dpst, det.report)
+        assert removed > before * 0.1
+        assert span_parts(det.dpst.root, {})[1] == span
+
+
+class TestCoverage:
+    SOURCE = """
+    var x = 0;
+    def main(n) {
+        if (n > 10) {
+            async { x = 1; }
+        } else {
+            x = 3;
+        }
+        async { x = 2; }
+        print(x);
+    }
+    """
+
+    def test_unspawned_async_detected(self):
+        cov = measure_coverage(build(self.SOURCE), [(5,)])
+        assert not cov.is_adequate
+        assert len(cov.unspawned_asyncs()) == 1
+        assert cov.async_coverage == 0.5
+
+    def test_adequate_with_both_inputs(self):
+        cov = measure_coverage(build(self.SOURCE), [(5,), (20,)])
+        assert cov.is_adequate
+        assert cov.async_coverage == 1.0
+        assert cov.branch_coverage() == 1.0
+
+    def test_statement_coverage_partial(self):
+        cov = measure_coverage(build(self.SOURCE), [(5,)])
+        assert 0 < cov.statement_coverage < 1
+
+    def test_finish_coverage(self):
+        source = """
+        var x = 0;
+        def main(flag) {
+            if (flag) { finish { async { x = 1; } } }
+            print(x);
+        }"""
+        cov = measure_coverage(build(source), [(False,)])
+        assert cov.finish_coverage == 0.0
+        cov = measure_coverage(build(source), [(True,)])
+        assert cov.finish_coverage == 1.0
+
+    def test_summary_warns(self):
+        cov = measure_coverage(build(self.SOURCE), [(5,)])
+        assert "WARNING" in cov.summary()
+        cov = measure_coverage(build(self.SOURCE), [(5,), (20,)])
+        assert "WARNING" not in cov.summary()
+
+    def test_trivial_program_fully_covered(self):
+        cov = measure_coverage(build("def main() { print(1); }"), [()])
+        assert cov.statement_coverage == 1.0
+        assert cov.async_coverage == 1.0
+        assert cov.is_adequate
+
+    def test_coverage_guides_multi_input_repair(self):
+        # The §9 workflow: check coverage, then repair for an adequate
+        # input set; both branches end up synchronized.
+        program = build(self.SOURCE)
+        inputs = [(5,), (20,)]
+        assert measure_coverage(program, inputs).is_adequate
+        result = repair_for_inputs(program, inputs)
+        assert result.converged
+        for args in inputs:
+            assert detect_races(result.repaired,
+                                args).report.is_race_free

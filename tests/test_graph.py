@@ -1,0 +1,168 @@
+"""Computation graphs, span analysis, and greedy scheduling."""
+
+import pytest
+
+from repro.dpst import DpstBuilder
+from repro.graph import (
+    ComputationGraph,
+    greedy_schedule,
+    measure_program,
+    span_parts,
+)
+from repro.runtime import Interpreter
+from tests.conftest import build
+
+
+def graph_of(source: str, args=()):
+    program = build(source)
+    builder = DpstBuilder()
+    Interpreter(program, builder).run(args)
+    tree = builder.finish()
+    return tree, ComputationGraph.from_dpst(tree)
+
+
+SEQUENTIAL = "def main() { var s = 0; for (var i = 0; i < 9; i = i + 1) { s = s + i; } print(s); }"
+
+PARALLEL = """
+def work(a, slot, amount) {
+    var s = 0;
+    for (var i = 0; i < amount; i = i + 1) { s = s + i; }
+    a[slot] = s;
+}
+def main() {
+    var a = new int[4];
+    finish {
+        async work(a, 0, 30);
+        async work(a, 1, 30);
+        async work(a, 2, 30);
+        async work(a, 3, 30);
+    }
+    print(a[0] + a[1] + a[2] + a[3]);
+}
+"""
+
+
+class TestGraphStructure:
+    def test_sequential_program_is_a_chain(self):
+        _, graph = graph_of(SEQUENTIAL)
+        assert graph.span() == graph.work()
+
+    def test_edges_go_forward(self):
+        _, graph = graph_of(PARALLEL)
+        for node in graph.order:
+            for pred in graph.preds[node]:
+                assert pred < node
+
+    def test_finish_creates_join_edges(self):
+        _, graph = graph_of(PARALLEL)
+        # The step after the finish (the sum) must wait for all four tasks:
+        # some node has >= 4 predecessors.
+        assert max(len(p) for p in graph.preds.values()) >= 4
+
+    def test_work_is_total_cost(self):
+        tree, graph = graph_of(PARALLEL)
+        assert graph.work() == sum(s.cost for s in tree.steps())
+
+    def test_parallel_span_less_than_work(self):
+        _, graph = graph_of(PARALLEL)
+        assert graph.span() < graph.work()
+
+    def test_critical_path_is_consistent(self):
+        _, graph = graph_of(PARALLEL)
+        path = graph.critical_path()
+        assert sum(graph.cost[i] for i in path) == graph.span()
+        # The path respects precedence.
+        for a, b in zip(path, path[1:]):
+            assert a in graph.preds[b]
+
+
+class TestSpanParts:
+    def test_root_span_equals_graph_span(self):
+        tree, graph = graph_of(PARALLEL)
+        assert span_parts(tree.root)[1] == graph.span()
+
+    def test_step_span_is_cost(self):
+        tree, _ = graph_of(SEQUENTIAL)
+        step = tree.steps()[0]
+        assert span_parts(step) == (step.cost, step.cost)
+
+    def test_async_has_zero_advance(self):
+        tree, _ = graph_of(PARALLEL)
+        async_nodes = [n for n in tree.walk()
+                       if n.kind == "async" and n is not tree.root]
+        for node in async_nodes:
+            advance, completion = span_parts(node)
+            assert advance == 0
+            assert completion > 0
+
+    def test_finish_advance_equals_completion(self):
+        tree, _ = graph_of(PARALLEL)
+        finish = [n for n in tree.walk() if n.kind == "finish"][0]
+        advance, completion = span_parts(finish)
+        assert advance == completion
+
+    def test_cache_shared(self):
+        tree, _ = graph_of(PARALLEL)
+        cache = {}
+        span_parts(tree.root, cache)
+        assert tree.root.index in cache
+
+
+class TestGreedySchedule:
+    def test_one_processor_equals_work(self):
+        _, graph = graph_of(PARALLEL)
+        result = greedy_schedule(graph, 1)
+        assert result.makespan == graph.work()
+
+    def test_many_processors_reach_span(self):
+        _, graph = graph_of(PARALLEL)
+        result = greedy_schedule(graph, 1000)
+        assert result.makespan == graph.span()
+
+    def test_monotone_in_processors(self):
+        _, graph = graph_of(PARALLEL)
+        times = [greedy_schedule(graph, p).makespan for p in (1, 2, 4, 8)]
+        assert times == sorted(times, reverse=True)
+
+    def test_brent_bound(self):
+        _, graph = graph_of(PARALLEL)
+        for p in (2, 3, 4):
+            result = greedy_schedule(graph, p)
+            assert result.makespan <= graph.work() / p + graph.span()
+            assert result.makespan >= max(graph.span(), graph.work() / p)
+
+    def test_speedup_and_parallelism(self):
+        _, graph = graph_of(PARALLEL)
+        result = greedy_schedule(graph, 4)
+        assert result.speedup == pytest.approx(result.work / result.makespan)
+        assert result.parallelism == pytest.approx(result.work / result.span)
+
+    def test_zero_processors_rejected(self):
+        _, graph = graph_of(SEQUENTIAL)
+        with pytest.raises(ValueError):
+            greedy_schedule(graph, 0)
+
+    def test_deterministic(self):
+        _, graph = graph_of(PARALLEL)
+        a = greedy_schedule(graph, 3).makespan
+        b = greedy_schedule(graph, 3).makespan
+        assert a == b
+
+
+class TestMeasureProgram:
+    def test_measure_program_end_to_end(self):
+        result = measure_program(build(PARALLEL), (), processors=4)
+        assert result.processors == 4
+        assert result.span <= result.makespan <= result.work
+
+    def test_unsynchronized_spawn_still_joins_at_nothing(self):
+        # Without a finish, the final print does not wait for the task, so
+        # the graph's last node can run before the async completes.
+        source = """
+        def main() {
+            var a = new int[1];
+            async { for (var i = 0; i < 50; i = i + 1) { a[0] = i; } }
+            print("done");
+        }"""
+        result = measure_program(build(source), (), processors=2)
+        assert result.span < result.work

@@ -1,0 +1,99 @@
+"""Experiment harness drivers at quick (test-size) inputs."""
+
+import pytest
+
+from repro.bench import harness
+
+SUBSET = ["fibonacci", "quicksort", "series"]
+
+
+@pytest.fixture(scope="module")
+def quick_tables():
+    return {
+        "t2": harness.table2(SUBSET, use_repair_args=False),
+        "t3": harness.table3(SUBSET, use_repair_args=False),
+        "t4": harness.table4(SUBSET, use_repair_args=False),
+        "f16": harness.figure16(SUBSET, use_perf_args=False),
+    }
+
+
+class TestTable1:
+    def test_all_rows_present(self):
+        rows = harness.table1()
+        assert len(rows) == 12
+        assert rows[0]["benchmark"] == "fibonacci"
+        assert all("paper_repair_input" in r for r in rows)
+
+    def test_subset(self):
+        rows = harness.table1(SUBSET)
+        assert [r["benchmark"] for r in rows] == SUBSET
+
+
+class TestFigure16:
+    def test_shape_repaired_close_to_original(self, quick_tables):
+        for row in quick_tables["f16"]:
+            assert row["repaired_parallel"] <= 2 * row["original_parallel"] \
+                + 50, row
+            assert row["original_parallel"] <= row["sequential"]
+            assert row["repaired_parallel"] <= row["sequential"]
+
+    def test_speedups_computed(self, quick_tables):
+        for row in quick_tables["f16"]:
+            assert row["repaired_speedup"] >= 1.0
+
+
+class TestTable2:
+    def test_metrics_present_and_sane(self, quick_tables):
+        for row in quick_tables["t2"]:
+            assert row["converged"]
+            assert row["dpst_nodes"] > 0
+            assert row["races"] > 0
+            assert row["detection_ms"] > 0
+            assert row["repair_s"] > 0
+
+
+class TestTable3:
+    def test_srw_two_runs_mrw_totals(self, quick_tables):
+        for row in quick_tables["t3"]:
+            assert row["srw_runs"] >= 2  # repair + confirm
+            assert row["mrw_runs"] >= 2
+            assert row["srw_total_s"] > 0
+            assert row["mrw_total_s"] > 0
+
+
+class TestTable4:
+    def test_mrw_geq_srw_everywhere(self, quick_tables):
+        for row in quick_tables["t4"]:
+            assert row["mrw_races"] >= row["srw_races"], row
+
+    def test_quicksort_mrw_strictly_larger(self, quick_tables):
+        by_name = {r["benchmark"]: r for r in quick_tables["t4"]}
+        # Multiple unjoined writers per cell: quicksort is the paper's
+        # showcase of SRW under-reporting (Table 4: 1,780 vs 17,727).
+        assert by_name["quicksort"]["mrw_races"] \
+            > by_name["quicksort"]["srw_races"]
+
+    def test_fibonacci_equal(self, quick_tables):
+        by_name = {r["benchmark"]: r for r in quick_tables["t4"]}
+        # One writer + one reader per boxed field: SRW sees every race
+        # (Table 4: 3,192 vs 3,192).
+        assert by_name["fibonacci"]["mrw_races"] \
+            == by_name["fibonacci"]["srw_races"]
+
+
+class TestRendering:
+    def test_figure16_chart(self, quick_tables):
+        from repro.bench.harness import render_figure16_chart
+        chart = render_figure16_chart(quick_tables["f16"])
+        assert chart.startswith("Figure 16")
+        for row in quick_tables["f16"]:
+            assert row["benchmark"] in chart
+        assert "#" in chart
+
+    def test_format_rows(self, quick_tables):
+        text = harness.format_rows(quick_tables["t4"], "Table 4")
+        assert text.startswith("Table 4")
+        assert "quicksort" in text
+
+    def test_format_empty(self):
+        assert "(no rows)" in harness.format_rows([], "X")

@@ -1,0 +1,311 @@
+"""Interpreter semantics: expressions, control flow, data, builtins."""
+
+import pytest
+
+from repro.errors import RuntimeFault, StepLimitExceeded
+from repro.lang import parse
+from repro.runtime import Interpreter, run_program
+from tests.conftest import run
+
+
+class TestArithmetic:
+    def test_basic_ops(self):
+        assert run("def main() { print(2 + 3 * 4 - 1); }") == ["13"]
+
+    def test_integer_division_truncates_toward_zero(self):
+        # Java semantics, not Python floor division.
+        assert run("def main() { print(-7 / 2); }") == ["-3"]
+        assert run("def main() { print(7 / -2); }") == ["-3"]
+        assert run("def main() { print(7 / 2); }") == ["3"]
+
+    def test_modulo_sign_follows_dividend(self):
+        assert run("def main() { print(-7 % 3); }") == ["-1"]
+        assert run("def main() { print(7 % -3); }") == ["1"]
+
+    def test_float_division(self):
+        assert run("def main() { print(7.0 / 2); }") == ["3.5"]
+
+    def test_division_by_zero(self):
+        with pytest.raises(RuntimeFault, match="division by zero"):
+            run("def main() { print(1 / 0); }")
+
+    def test_modulo_by_zero(self):
+        with pytest.raises(RuntimeFault, match="modulo"):
+            run("def main() { print(1 % 0); }")
+
+    def test_bitwise_ops(self):
+        assert run("def main() { print(12 & 10, 12 | 10, 12 ^ 10); }") == \
+            ["8 14 6"]
+        assert run("def main() { print(1 << 4, 256 >> 3, ~5); }") == \
+            ["16 32 -6"]
+
+    def test_bitwise_requires_ints(self):
+        with pytest.raises(RuntimeFault):
+            run("def main() { print(1.5 & 2); }")
+
+    def test_comparisons(self):
+        assert run("def main() { print(1 < 2, 2 <= 2, 3 > 4, 3 >= 4); }") == \
+            ["true true false false"]
+
+    def test_string_concatenation(self):
+        assert run('def main() { print("n=" + 5); }') == ["n=5"]
+
+    def test_equality_semantics(self):
+        assert run("def main() { print(1 == 1.0, null == null, 1 != 2); }") \
+            == ["true true true"]
+
+    def test_reference_equality_for_arrays(self):
+        out = run("""
+        def main() {
+            var a = new int[2];
+            var b = new int[2];
+            var c = a;
+            print(a == b, a == c);
+        }""")
+        assert out == ["false true"]
+
+    def test_unary_minus_on_bool_rejected(self):
+        with pytest.raises(RuntimeFault):
+            run("def main() { print(-true); }")
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        assert run("def main() { if (1 < 2) { print(1); } else { print(2); } }") \
+            == ["1"]
+
+    def test_condition_must_be_boolean(self):
+        with pytest.raises(RuntimeFault, match="boolean"):
+            run("def main() { if (1) { } }")
+
+    def test_while_loop(self):
+        out = run("""
+        def main() {
+            var i = 0;
+            var sum = 0;
+            while (i < 5) { sum = sum + i; i = i + 1; }
+            print(sum);
+        }""")
+        assert out == ["10"]
+
+    def test_for_loop_with_break_continue(self):
+        out = run("""
+        def main() {
+            var sum = 0;
+            for (var i = 0; i < 100; i = i + 1) {
+                if (i == 7) { break; }
+                if (i % 2 == 0) { continue; }
+                sum = sum + i;
+            }
+            print(sum);
+        }""")
+        assert out == ["9"]  # 1 + 3 + 5
+
+    def test_continue_still_runs_update(self):
+        out = run("""
+        def main() {
+            var n = 0;
+            for (var i = 0; i < 3; i = i + 1) {
+                if (true) { continue; }
+            }
+            print("done");
+        }""")
+        assert out == ["done"]
+
+    def test_short_circuit_and(self):
+        out = run("""
+        def boom() { print("boom"); return true; }
+        def main() { print(false && boom()); }
+        """)
+        assert out == ["false"]
+
+    def test_short_circuit_or(self):
+        out = run("""
+        def boom() { print("boom"); return true; }
+        def main() { print(true || boom()); }
+        """)
+        assert out == ["true"]
+
+
+class TestFunctions:
+    def test_recursion(self):
+        out = run("""
+        def fact(n) { if (n <= 1) { return 1; } return n * fact(n - 1); }
+        def main() { print(fact(10)); }
+        """)
+        assert out == ["3628800"]
+
+    def test_function_without_return_yields_null(self):
+        assert run("def f() { } def main() { print(f()); }") == ["null"]
+
+    def test_mutual_recursion(self):
+        out = run("""
+        def is_even(n) { if (n == 0) { return true; } return is_odd(n - 1); }
+        def is_odd(n) { if (n == 0) { return false; } return is_even(n - 1); }
+        def main() { print(is_even(10), is_odd(10)); }
+        """)
+        assert out == ["true false"]
+
+    def test_arguments_by_value_for_scalars(self):
+        out = run("""
+        def bump(x) { x = x + 1; }
+        def main() { var v = 1; bump(v); print(v); }
+        """)
+        assert out == ["1"]
+
+    def test_arrays_shared_by_reference(self):
+        out = run("""
+        def set0(a) { a[0] = 42; }
+        def main() { var arr = new int[1]; set0(arr); print(arr[0]); }
+        """)
+        assert out == ["42"]
+
+
+class TestData:
+    def test_array_defaults(self):
+        out = run("""
+        def main() {
+            var i = new int[2];
+            var d = new double[1];
+            var b = new boolean[1];
+            var o = new Object[1];
+            print(i[0], d[0], b[0], o[0]);
+        }""")
+        assert out == ["0 0 false null"]
+
+    def test_2d_array_rows_are_independent(self):
+        out = run("""
+        def main() {
+            var g = new int[2][3];
+            g[0][1] = 5;
+            print(g[0][1], g[1][1]);
+        }""")
+        assert out == ["5 0"]
+
+    def test_index_out_of_bounds(self):
+        with pytest.raises(RuntimeFault, match="out of bounds"):
+            run("def main() { var a = new int[2]; print(a[2]); }")
+
+    def test_negative_index(self):
+        with pytest.raises(RuntimeFault, match="out of bounds"):
+            run("def main() { var a = new int[2]; print(a[-1]); }")
+
+    def test_non_integer_index(self):
+        with pytest.raises(RuntimeFault, match="integer"):
+            run("def main() { var a = new int[2]; print(a[0.5]); }")
+
+    def test_negative_length(self):
+        with pytest.raises(RuntimeFault, match="negative"):
+            run("def main() { var a = new int[0 - 1]; }")
+
+    def test_indexing_non_array(self):
+        with pytest.raises(RuntimeFault, match="non-array"):
+            run("def main() { var x = 3; print(x[0]); }")
+
+    def test_struct_fields(self):
+        out = run("""
+        struct Point { x, y }
+        def main() {
+            var p = new Point();
+            p.x = 1;
+            p.y = p.x + 1;
+            print(p.x, p.y);
+        }""")
+        assert out == ["1 2"]
+
+    def test_unknown_field(self):
+        with pytest.raises(RuntimeFault, match="no field"):
+            run("struct P { x } def main() { var p = new P(); print(p.z); }")
+
+    def test_field_access_on_non_struct(self):
+        with pytest.raises(RuntimeFault, match="non-struct"):
+            run("def main() { var x = 1; print(x.v); }")
+
+    def test_compound_assignment_on_array_elem(self):
+        out = run("""
+        def main() {
+            var a = new int[1];
+            a[0] = 10;
+            a[0] += 5;
+            a[0] *= 2;
+            print(a[0]);
+        }""")
+        assert out == ["30"]
+
+
+class TestAsyncFinishSemantics:
+    def test_depth_first_execution_order(self):
+        # Sequential depth-first: async bodies run immediately.
+        out = run("""
+        def main() {
+            print(1);
+            async { print(2); }
+            print(3);
+            finish { async print(4); }
+            print(5);
+        }""")
+        assert out == ["1", "2", "3", "4", "5"]
+
+    def test_async_captures_enclosing_locals_by_reference(self):
+        out = run("""
+        def main() {
+            var x = 1;
+            async { x = 2; }
+            print(x);
+        }""")
+        assert out == ["2"]
+
+
+class TestBuiltinsAndHarness:
+    def test_math_builtins(self):
+        out = run("def main() { print(sqrt(16.0), abs(-3), max(2, 7), min(2, 7)); }")
+        assert out == ["4 3 7 2"]
+
+    def test_conversions(self):
+        assert run("def main() { print(to_int(3.7), to_double(2)); }") == ["3 2"]
+
+    def test_len(self):
+        assert run("def main() { print(len(new int[7])); }") == ["7"]
+
+    def test_deterministic_rand(self):
+        source = """
+        def main() {
+            seed_rand(42);
+            print(rand_int(100), rand_int(100), rand_int(100));
+        }"""
+        assert run(source) == run(source)
+
+    def test_rand_bound_must_be_positive(self):
+        with pytest.raises(RuntimeFault):
+            run("def main() { print(rand_int(0)); }")
+
+    def test_assert_true(self):
+        with pytest.raises(RuntimeFault, match="assert_true"):
+            run('def main() { assert_true(false, "nope"); }')
+
+    def test_unknown_builtin_arity(self):
+        with pytest.raises(RuntimeFault, match="expects"):
+            run("def main() { print(sqrt()); }")
+
+    def test_main_args(self):
+        program = parse("def main(a, b) { print(a + b); }")
+        assert run_program(program, (3, 4)).output == ["7"]
+
+    def test_main_list_arg_becomes_array(self):
+        program = parse("def main(a) { print(a[1], len(a)); }")
+        assert run_program(program, ([5, 6, 7],)).output == ["6 3"]
+
+    def test_wrong_main_arity(self):
+        program = parse("def main(a) { }")
+        with pytest.raises(RuntimeFault, match="argument"):
+            run_program(program, ())
+
+    def test_step_limit(self):
+        program = parse("def main() { while (true) { } }")
+        with pytest.raises(StepLimitExceeded):
+            Interpreter(program, max_ops=10_000).run(())
+
+    def test_ops_counted(self):
+        program = parse("def main() { print(1 + 2); }")
+        result = run_program(program)
+        assert result.ops > 0

@@ -1,0 +1,243 @@
+"""Unit tests for the mini-HJ parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import ast, parse
+
+
+def first_stmt(source_body: str) -> ast.Stmt:
+    program = parse("def main() { " + source_body + " }")
+    return program.main.body.stmts[0]
+
+
+def expr_of(source_expr: str) -> ast.Expr:
+    stmt = first_stmt(f"var tmp = {source_expr};")
+    assert isinstance(stmt, ast.VarDecl)
+    return stmt.init
+
+
+class TestTopLevel:
+    def test_function_with_params(self):
+        program = parse("def f(a, b, c) { }")
+        func = program.functions["f"]
+        assert [p.name for p in func.params] == ["a", "b", "c"]
+
+    def test_duplicate_function_rejected(self):
+        with pytest.raises(ParseError):
+            parse("def f() { } def f() { }")
+
+    def test_struct_declaration(self):
+        program = parse("struct Point { x, y }")
+        assert program.structs["Point"].fields == ["x", "y"]
+
+    def test_struct_duplicate_field_rejected(self):
+        with pytest.raises(ParseError):
+            parse("struct P { x, x }")
+
+    def test_global_with_and_without_init(self):
+        program = parse("var a; var b = 42;")
+        assert program.globals[0].init is None
+        assert program.globals[1].init.value == 42
+
+    def test_garbage_at_top_level(self):
+        with pytest.raises(ParseError):
+            parse("if (x) { }")
+
+    def test_node_ids_are_unique(self):
+        program = parse("def main() { var x = 1 + 2 * 3; print(x); }")
+        ids = [n.nid for n in ast.walk(program)]
+        assert len(ids) == len(set(ids))
+
+
+class TestStatements:
+    def test_var_decl(self):
+        stmt = first_stmt("var x = 5;")
+        assert isinstance(stmt, ast.VarDecl)
+        assert stmt.name == "x"
+
+    def test_assignment_ops(self):
+        for op in ("=", "+=", "-=", "*=", "/="):
+            stmt = first_stmt(f"var x = 0; x {op} 2;")
+            # first statement is the decl; re-parse to grab the assignment
+        program = parse("def main() { var x = 0; x += 2; }")
+        assign = program.main.body.stmts[1]
+        assert isinstance(assign, ast.Assign)
+        assert assign.op == "+="
+
+    def test_assignment_to_index_and_field(self):
+        program = parse("""
+        struct B { v }
+        def main() {
+            var a = new int[3];
+            a[0] = 1;
+            var b = new B();
+            b.v = 2;
+        }""")
+        stmts = program.main.body.stmts
+        assert isinstance(stmts[1].target, ast.Index)
+        assert isinstance(stmts[3].target, ast.FieldAccess)
+
+    def test_invalid_assignment_target(self):
+        with pytest.raises(ParseError):
+            parse("def main() { 1 + 2 = 3; }")
+
+    def test_if_else_chain(self):
+        stmt = first_stmt(
+            "if (true) { } else if (false) { } else { print(1); }")
+        assert isinstance(stmt, ast.If)
+        nested = stmt.else_block.stmts[0]
+        assert isinstance(nested, ast.If)
+        assert nested.else_block is not None
+
+    def test_while(self):
+        stmt = first_stmt("while (false) { print(1); }")
+        assert isinstance(stmt, ast.While)
+
+    def test_for_full(self):
+        stmt = first_stmt("for (var i = 0; i < 3; i = i + 1) { }")
+        assert isinstance(stmt, ast.For)
+        assert isinstance(stmt.init, ast.VarDecl)
+        assert isinstance(stmt.update, ast.Assign)
+
+    def test_for_all_clauses_empty(self):
+        stmt = first_stmt("for (;;) { break; }")
+        assert stmt.init is None
+        assert stmt.cond is None
+        assert stmt.update is None
+
+    def test_for_with_assignment_init(self):
+        stmt = first_stmt("var i; for (i = 0; i < 2; i = i + 1) { }")
+        program = parse("def main() { var i; for (i = 0; i < 2; i = i + 1) { } }")
+        loop = program.main.body.stmts[1]
+        assert isinstance(loop.init, ast.Assign)
+
+    def test_return_with_and_without_value(self):
+        assert first_stmt("return;").value is None
+        assert first_stmt("return 3;").value.value == 3
+
+    def test_break_continue(self):
+        stmt = first_stmt("while (true) { break; }")
+        assert isinstance(stmt.body.stmts[0], ast.Break)
+        stmt = first_stmt("while (true) { continue; }")
+        assert isinstance(stmt.body.stmts[0], ast.Continue)
+
+    def test_bare_block(self):
+        stmt = first_stmt("{ var x = 1; }")
+        assert isinstance(stmt, ast.Block)
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("def main() { var x = 1 }")
+
+    def test_unterminated_block(self):
+        with pytest.raises(ParseError):
+            parse("def main() { var x = 1;")
+
+
+class TestAsyncFinish:
+    def test_async_block(self):
+        stmt = first_stmt("async { print(1); }")
+        assert isinstance(stmt, ast.AsyncStmt)
+        assert len(stmt.body.stmts) == 1
+
+    def test_async_single_statement_sugar(self):
+        stmt = first_stmt("async print(1);")
+        assert isinstance(stmt, ast.AsyncStmt)
+        assert isinstance(stmt.body.stmts[0], ast.ExprStmt)
+
+    def test_finish_block_and_sugar(self):
+        stmt = first_stmt("finish { async print(1); }")
+        assert isinstance(stmt, ast.FinishStmt)
+        stmt = first_stmt("finish async print(1);")
+        assert isinstance(stmt, ast.FinishStmt)
+        assert isinstance(stmt.body.stmts[0], ast.AsyncStmt)
+
+    def test_parsed_finish_is_not_synthetic(self):
+        stmt = first_stmt("finish { }")
+        assert stmt.synthetic is False
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = expr_of("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_precedence_shift_vs_compare(self):
+        expr = expr_of("1 << 2 < 3")
+        assert expr.op == "<"
+        assert expr.left.op == "<<"
+
+    def test_precedence_bitand_vs_eq(self):
+        # C-like: == binds tighter than & in this grammar? No — the table
+        # puts & above ==, i.e. `a & b == c` is `a & (b == c)`... check.
+        expr = expr_of("1 & 2 == 2")
+        assert expr.op == "&"
+        assert expr.right.op == "=="
+
+    def test_logical_precedence(self):
+        expr = expr_of("true || false && true")
+        assert expr.op == "||"
+        assert expr.right.op == "&&"
+
+    def test_left_associativity(self):
+        expr = expr_of("1 - 2 - 3")
+        assert expr.op == "-"
+        assert expr.left.op == "-"
+        assert expr.right.value == 3
+
+    def test_parentheses_override(self):
+        expr = expr_of("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_unary_operators(self):
+        assert expr_of("-x").op == "-"
+        assert expr_of("!x").op == "!"
+        assert expr_of("~x").op == "~"
+
+    def test_unary_binds_tighter_than_binary(self):
+        expr = expr_of("-x + y")
+        assert expr.op == "+"
+        assert isinstance(expr.left, ast.Unary)
+
+    def test_call_with_args(self):
+        expr = expr_of("f(1, 2, 3)")
+        assert isinstance(expr, ast.Call)
+        assert len(expr.args) == 3
+
+    def test_postfix_chains(self):
+        expr = expr_of("a[0].field[1]")
+        assert isinstance(expr, ast.Index)
+        assert isinstance(expr.base, ast.FieldAccess)
+        assert isinstance(expr.base.base, ast.Index)
+
+    def test_new_struct(self):
+        expr = expr_of("new Point()")
+        assert isinstance(expr, ast.NewStruct)
+        assert expr.struct_name == "Point"
+
+    def test_new_array_1d(self):
+        expr = expr_of("new int[10]")
+        assert isinstance(expr, ast.NewArray)
+        assert expr.elem_type == "int"
+        assert len(expr.dims) == 1
+
+    def test_new_array_2d(self):
+        expr = expr_of("new double[3][4]")
+        assert len(expr.dims) == 2
+
+    def test_new_requires_bracket_or_paren(self):
+        with pytest.raises(ParseError):
+            parse("def main() { var x = new int; }")
+
+    def test_literals(self):
+        assert expr_of("true").value is True
+        assert expr_of("false").value is False
+        assert isinstance(expr_of("null"), ast.NullLit)
+        assert expr_of('"s"').value == "s"
+
+    def test_expression_error(self):
+        with pytest.raises(ParseError):
+            parse("def main() { var x = ; }")

@@ -1,0 +1,128 @@
+"""Pretty-printer tests: rendering and the parse round trip."""
+
+import pytest
+
+from repro.lang import ast, parse, pretty
+from repro.lang.pretty import expr_to_str, stmt_to_str
+from repro.lang.transform import ast_equal
+
+
+def roundtrip(source: str) -> None:
+    program = parse(source)
+    text = pretty(program)
+    reparsed = parse(text)
+    assert ast_equal(program, reparsed), f"round trip changed:\n{text}"
+
+
+class TestRoundTrip:
+    def test_simple_function(self):
+        roundtrip("def main() { var x = 1; print(x); }")
+
+    def test_control_flow(self):
+        roundtrip("""
+        def main() {
+            for (var i = 0; i < 10; i = i + 1) {
+                if (i % 2 == 0) { print(i); } else { continue; }
+            }
+            while (false) { break; }
+        }""")
+
+    def test_async_finish(self):
+        roundtrip("""
+        def main() {
+            finish {
+                async { print(1); }
+                async print(2);
+            }
+        }""")
+
+    def test_structs_and_globals(self):
+        roundtrip("""
+        struct Pair { a, b }
+        var g = 3;
+        var h;
+        def main() {
+            var p = new Pair();
+            p.a = g;
+            print(p.a);
+        }""")
+
+    def test_operator_soup(self):
+        roundtrip("""
+        def main() {
+            var x = 1 + 2 * 3 - 4 / 5 % 6;
+            var y = (1 + 2) * (3 - 4);
+            var z = x << 2 & 3 | 4 ^ 5;
+            var w = -x + ~y * !true;
+            var c = x < y && y <= z || !(x == z);
+            print(c);
+        }""")
+
+    def test_nested_data_access(self):
+        roundtrip("""
+        struct Node { next, val }
+        def main() {
+            var arr = new int[4][5];
+            arr[0][1] = 2;
+            var n = new Node();
+            n.val = arr[0][1];
+            print(n.val);
+        }""")
+
+    def test_float_and_string_literals(self):
+        roundtrip("""
+        def main() {
+            var a = 0.5;
+            var b = 1e-09;
+            var s = "tab\\t quote\\" end";
+            print(a, b, s);
+        }""")
+
+    def test_synthetic_marker_survives_as_comment(self):
+        source = "def main() { finish { async print(1); } }"
+        program = parse(source)
+        finish = program.main.body.stmts[0]
+        finish.synthetic = True
+        text = pretty(program)
+        assert "// repair" in text
+        # The comment is trivia: the reparsed program is structurally equal.
+        assert ast_equal(program, parse(text))
+
+
+class TestExprToStr:
+    def test_minimal_parentheses(self):
+        expr = parse("def main() { var x = 1 + 2 * 3; }") \
+            .main.body.stmts[0].init
+        assert expr_to_str(expr) == "1 + 2 * 3"
+
+    def test_parentheses_preserved_when_needed(self):
+        expr = parse("def main() { var x = (1 + 2) * 3; }") \
+            .main.body.stmts[0].init
+        assert expr_to_str(expr) == "(1 + 2) * 3"
+
+    def test_unary_nesting(self):
+        expr = parse("def main() { var x = -(1 + 2); }") \
+            .main.body.stmts[0].init
+        assert expr_to_str(expr) == "-(1 + 2)"
+
+    def test_string_escaping(self):
+        expr = parse(r'def main() { var s = "a\nb\"c"; }') \
+            .main.body.stmts[0].init
+        assert expr_to_str(expr) == r'"a\nb\"c"'
+
+    def test_unknown_node_raises(self):
+        with pytest.raises(TypeError):
+            expr_to_str(object())
+
+
+class TestStmtToStr:
+    def test_single_statement(self):
+        stmt = parse("def main() { x(); }").main.body.stmts[0]
+        assert stmt_to_str(stmt) == "x();"
+
+    def test_if_without_else(self):
+        stmt = parse("def main() { if (true) { print(1); } }") \
+            .main.body.stmts[0]
+        text = stmt_to_str(stmt)
+        assert text.startswith("if (true) {")
+        assert "else" not in text

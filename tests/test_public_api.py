@@ -1,0 +1,86 @@
+"""The documented public API surface stays importable and coherent."""
+
+import pytest
+
+
+class TestTopLevel:
+    def test_core_entry_points(self):
+        import repro
+
+        assert callable(repro.parse)
+        assert callable(repro.pretty)
+        assert callable(repro.detect_races)
+        assert callable(repro.repair_program)      # lazily resolved
+        assert isinstance(repro.__version__, str)
+
+    def test_lazy_attribute_error(self):
+        import repro
+
+        with pytest.raises(AttributeError):
+            repro.not_a_thing
+
+    def test_version_single_source(self):
+        import repro
+        from repro.version import __version__
+
+        assert repro.__version__ == __version__
+
+
+class TestSubpackageSurfaces:
+    def test_lang(self):
+        from repro.lang import (  # noqa: F401
+            ast, parse, pretty, serial_elision, strip_finishes,
+            insert_finish, validate, ast_equal, tokenize,
+        )
+
+    def test_runtime(self):
+        from repro.runtime import (  # noqa: F401
+            Interpreter, run_program, check_determinism, run_deferred,
+            BUILTIN_NAMES, ArrayValue, StructValue, DeterministicRng,
+        )
+
+    def test_dpst(self):
+        from repro.dpst import (  # noqa: F401
+            Dpst, DpstBuilder, DpstNode, prune_race_free,
+            ASYNC, FINISH, SCOPE, STEP,
+        )
+
+    def test_races(self):
+        from repro.races import (  # noqa: F401
+            detect_races, make_detector, DataRace, RaceReport,
+            SrwEspBagsDetector, MrwEspBagsDetector, OracleDetector,
+            VectorClockDetector,
+        )
+
+    def test_graph(self):
+        from repro.graph import (  # noqa: F401
+            ComputationGraph, greedy_schedule, measure_program, span_parts,
+        )
+
+    def test_repair(self):
+        from repro.repair import (  # noqa: F401
+            repair_program, repair_for_inputs, RepairEngine, RepairResult,
+            solve_placement, brute_force_placement, build_dependence_graph,
+            InsertionFinder, measure_coverage, contextualize,
+        )
+
+    def test_bench(self):
+        from repro.bench import (  # noqa: F401
+            BENCHMARKS, all_benchmarks, get_benchmark, table1, table2,
+            table3, table4, figure16, students, run_all,
+        )
+
+    def test_viz(self):
+        from repro.viz import (  # noqa: F401
+            dpst_to_dot, dependence_graph_to_dot, computation_graph_to_dot,
+        )
+
+    def test_all_lists_are_accurate(self):
+        import importlib
+
+        for module_name in ("repro.lang", "repro.runtime", "repro.dpst",
+                            "repro.races", "repro.graph", "repro.repair",
+                            "repro.bench"):
+            module = importlib.import_module(module_name)
+            for name in module.__all__:
+                assert hasattr(module, name), (module_name, name)

@@ -1,0 +1,115 @@
+"""Robustness at scale: deep recursion, wide fan-out, heavy tie-breaking."""
+
+import pytest
+
+from repro.lang import serial_elision, strip_finishes
+from repro.races import detect_races
+from repro.repair import repair_program
+from repro.repair.placement import placement_cost, solve_placement
+from repro.runtime import run_program
+from tests.conftest import build
+
+
+class TestDeepStructures:
+    def test_deep_sequential_recursion(self):
+        source = """
+        def down(n) {
+            if (n == 0) { return 0; }
+            return down(n - 1) + 1;
+        }
+        def main() { print(down(400)); }
+        """
+        assert run_program(build(source)).output == ["400"]
+
+    def test_deep_task_chain_repair(self):
+        # A 60-deep chain of nested asyncs, each racing with the final
+        # read: the S-DPST is a long spine and LCA walks must cope.
+        source = """
+        var x = 0;
+        def chain(n) {
+            if (n == 0) { x = x + 1; return; }
+            async chain(n - 1);
+        }
+        def main() {
+            chain(60);
+            print(x);
+        }
+        """
+        program = build(source)
+        result = repair_program(program)
+        assert result.converged
+        assert detect_races(result.repaired).report.is_race_free
+
+    def test_wide_fanout_repair(self):
+        parts = "\n".join(
+            f"async {{ slots[{i}] = {i}; }}" for i in range(64))
+        source = f"""
+        def main() {{
+            var slots = new int[64];
+            {parts}
+            var sum = 0;
+            for (var i = 0; i < 64; i = i + 1) {{ sum = sum + slots[i]; }}
+            print(sum);
+        }}
+        """
+        program = build(source)
+        result = repair_program(program)
+        assert result.converged
+        expected = run_program(serial_elision(program)).output
+        assert run_program(result.repaired).output == expected
+
+    def test_many_distinct_racy_contexts(self):
+        # Ten separate functions each with their own race: ten distinct
+        # static edits in one iteration.
+        funcs = "\n".join(f"""
+        def f{i}(a) {{
+            async {{ a[{i}] = {i}; }}
+            print(a[{i}]);
+        }}""" for i in range(10))
+        calls = "\n".join(f"f{i}(shared);" for i in range(10))
+        source = f"""
+        {funcs}
+        def main() {{
+            var shared = new int[10];
+            {calls}
+        }}
+        """
+        program = build(source)
+        result = repair_program(program)
+        assert result.converged
+        assert result.inserted_finish_count == 10
+        assert len(result.iterations) == 1
+
+
+class TestPlacementScale:
+    def test_dp_on_wide_graph(self):
+        # 120 nodes, sparse edges: must complete quickly and cover.
+        n = 120
+        times = [(i % 7) + 1 for i in range(n)]
+        is_async = [i % 3 != 2 for i in range(n)]
+        edges = [(i, i + 5) for i in range(0, n - 5, 9) if is_async[i]]
+        solution = solve_placement(times, is_async, edges)
+        assert solution is not None
+        assert placement_cost(times, is_async, solution.finishes) \
+            == solution.cost
+
+    def test_dp_heavy_ties(self):
+        # All-equal times produce maximal tie-breaking pressure; the
+        # result must still be optimal-cost and deterministic.
+        n = 10
+        times = [5] * n
+        is_async = [True] * n
+        edges = [(i, n - 1) for i in range(n - 1)]
+        a = solve_placement(times, is_async, edges)
+        b = solve_placement(times, is_async, edges)
+        assert a.finishes == b.finishes
+        assert a.cost == 5 + 5  # all asyncs joined in parallel, then sink
+
+    def test_repair_of_benchmark_scale_program(self):
+        # A mid-size quicksort through the whole pipeline as a stress
+        # smoke test (bigger than test_args, smaller than repair_args).
+        from repro.bench import get_benchmark
+        spec = get_benchmark("quicksort")
+        buggy = strip_finishes(spec.parse())
+        result = repair_program(buggy, (300,))
+        assert result.converged

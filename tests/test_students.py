@@ -1,0 +1,88 @@
+"""The student-homework grader (Section 7.4)."""
+
+import pytest
+
+from repro.bench.students import (
+    ASSIGNMENT,
+    GRADING_INPUTS,
+    MATCHED_TEMPLATES,
+    OVERSYNC_TEMPLATES,
+    RACY_TEMPLATES,
+    Grade,
+    grade_submission,
+    run_student_experiment,
+    synthesize_population,
+    tool_reference,
+)
+from repro.lang import parse
+from repro.races import detect_races
+
+INPUTS = ((24,), (36,))
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return tool_reference(INPUTS)
+
+
+class TestAssignment:
+    def test_assignment_is_racy(self):
+        det = detect_races(parse(ASSIGNMENT), INPUTS[0])
+        assert not det.report.is_race_free
+
+    def test_reference_is_race_free_on_all_inputs(self, reference):
+        for args in INPUTS:
+            assert detect_races(reference, args).report.is_race_free
+
+
+class TestGrader:
+    @pytest.mark.parametrize("description,source", RACY_TEMPLATES)
+    def test_racy_templates(self, description, source, reference):
+        grade = grade_submission(parse(source), reference, INPUTS)
+        assert grade is Grade.RACY, description
+
+    @pytest.mark.parametrize("description,source", OVERSYNC_TEMPLATES)
+    def test_oversync_templates(self, description, source, reference):
+        grade = grade_submission(parse(source), reference, INPUTS)
+        assert grade is Grade.OVER_SYNCHRONIZED, description
+
+    @pytest.mark.parametrize("description,source", MATCHED_TEMPLATES)
+    def test_matched_templates(self, description, source, reference):
+        grade = grade_submission(parse(source), reference, INPUTS)
+        assert grade is Grade.MATCHED, description
+
+
+class TestPopulation:
+    def test_population_size_and_composition(self):
+        population = synthesize_population()
+        assert len(population) == 59
+        expected = {Grade.RACY: 5, Grade.OVER_SYNCHRONIZED: 29,
+                    Grade.MATCHED: 25}
+        counts = {}
+        for sub in population:
+            counts[sub.expected] = counts.get(sub.expected, 0) + 1
+        assert counts == expected
+
+    def test_population_deterministic(self):
+        a = [s.description for s in synthesize_population(seed=7)]
+        b = [s.description for s in synthesize_population(seed=7)]
+        assert a == b
+
+    def test_population_shuffled(self):
+        kinds = [s.expected for s in synthesize_population()]
+        # Not all of one class at the front (the shuffle worked).
+        assert len(set(kinds[:10])) > 1
+
+    def test_identifiers_sequential(self):
+        idents = [s.ident for s in synthesize_population()]
+        assert idents == list(range(1, 60))
+
+
+class TestExperiment:
+    def test_counts_match_paper(self):
+        result = run_student_experiment(INPUTS)
+        assert result["total"] == 59
+        assert result["racy"] == 5
+        assert result["over_synchronized"] == 29
+        assert result["matched"] == 25
+        assert result["mismatches"] == []

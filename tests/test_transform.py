@@ -1,0 +1,185 @@
+"""AST transformation tests: stripping, elision, insertion, equality."""
+
+import pytest
+
+from repro.errors import RepairError
+from repro.lang import ast, parse, pretty
+from repro.lang.elision import is_sequential, serial_elision
+from repro.lang.transform import (
+    ast_equal,
+    clone_program,
+    count_asyncs,
+    count_finishes,
+    find_block,
+    insert_finish,
+    renumber,
+    statement_span,
+    strip_finishes,
+    synthetic_finishes,
+)
+
+NESTED = """
+def main() {
+    finish {
+        async {
+            finish { async print(1); }
+        }
+        print(2);
+    }
+    while (true) {
+        finish { print(3); }
+        break;
+    }
+    { finish { print(4); } }
+}
+"""
+
+
+class TestStripFinishes:
+    def test_all_finishes_removed(self):
+        program = parse(NESTED)
+        assert count_finishes(program) == 4
+        stripped = strip_finishes(program)
+        assert count_finishes(stripped) == 0
+
+    def test_asyncs_preserved(self):
+        program = parse(NESTED)
+        stripped = strip_finishes(program)
+        assert count_asyncs(stripped) == count_asyncs(program) == 2
+
+    def test_original_untouched(self):
+        program = parse(NESTED)
+        strip_finishes(program)
+        assert count_finishes(program) == 4
+
+    def test_statement_order_preserved(self):
+        # Problem 1 criterion 5: statements stay in the same order.
+        program = parse(NESTED)
+        stripped = strip_finishes(program)
+        original_calls = [n.args[0].value for n in ast.walk(program)
+                          if isinstance(n, ast.Call) and n.name == "print"]
+        stripped_calls = [n.args[0].value for n in ast.walk(stripped)
+                          if isinstance(n, ast.Call) and n.name == "print"]
+        assert original_calls == stripped_calls
+
+    def test_strip_equals_elision_when_no_asyncs(self):
+        source = "def main() { finish { print(1); } print(2); }"
+        stripped = strip_finishes(parse(source))
+        elided = serial_elision(parse(source))
+        assert ast_equal(stripped, elided)
+
+
+class TestSerialElision:
+    def test_removes_both_constructs(self):
+        elided = serial_elision(parse(NESTED))
+        assert is_sequential(elided)
+
+    def test_sequential_program_unchanged(self):
+        source = "def main() { var x = 1; print(x); }"
+        program = parse(source)
+        assert ast_equal(program, serial_elision(program))
+
+    def test_is_sequential_detects_async(self):
+        assert not is_sequential(parse("def main() { async print(1); }"))
+
+
+class TestInsertFinish:
+    def test_wrap_range(self):
+        program = parse("def main() { print(1); print(2); print(3); }")
+        block = program.main.body
+        finish = insert_finish(program, block.nid, 0, 1)
+        assert finish.synthetic
+        assert len(block.stmts) == 2
+        assert block.stmts[0] is finish
+        assert len(finish.body.stmts) == 2
+
+    def test_fresh_ids_allocated(self):
+        program = parse("def main() { print(1); }")
+        before = {n.nid for n in ast.walk(program)}
+        finish = insert_finish(program, program.main.body.nid, 0, 0)
+        assert finish.nid not in before
+        assert finish.body.nid not in before
+
+    def test_out_of_range_rejected(self):
+        program = parse("def main() { print(1); }")
+        with pytest.raises(RepairError):
+            insert_finish(program, program.main.body.nid, 0, 5)
+
+    def test_unknown_block_rejected(self):
+        program = parse("def main() { print(1); }")
+        with pytest.raises(RepairError):
+            insert_finish(program, 999_999, 0, 0)
+
+    def test_non_block_nid_rejected(self):
+        program = parse("def main() { print(1); }")
+        stmt_nid = program.main.body.stmts[0].nid
+        with pytest.raises(RepairError):
+            find_block(program, stmt_nid)
+
+    def test_inserted_program_reparses(self):
+        program = parse("def main() { async print(1); print(2); }")
+        insert_finish(program, program.main.body.nid, 0, 0)
+        text = pretty(program)
+        reparsed = parse(text)
+        assert count_finishes(reparsed) == 1
+
+    def test_synthetic_finishes_listed(self):
+        program = parse("def main() { finish { print(1); } print(2); }")
+        assert synthetic_finishes(program) == []
+        insert_finish(program, program.main.body.nid, 1, 1)
+        assert len(synthetic_finishes(program)) == 1
+
+
+class TestStatementSpan:
+    def test_span_of_subset(self):
+        program = parse("def main() { print(1); print(2); print(3); }")
+        block = program.main.body
+        nids = [block.stmts[2].nid, block.stmts[1].nid]
+        assert statement_span(block, nids) == (1, 2)
+
+    def test_foreign_statement_rejected(self):
+        program = parse("def main() { print(1); { print(2); } }")
+        block = program.main.body
+        inner = block.stmts[1].stmts[0]
+        with pytest.raises(RepairError):
+            statement_span(block, [inner.nid])
+
+
+class TestEqualityAndCloning:
+    def test_clone_preserves_ids_and_structure(self):
+        program = parse(NESTED)
+        clone = clone_program(program)
+        assert ast_equal(program, clone)
+        assert [n.nid for n in ast.walk(program)] == \
+            [n.nid for n in ast.walk(clone)]
+
+    def test_clone_is_independent(self):
+        program = parse("def main() { print(1); }")
+        clone = clone_program(program)
+        insert_finish(clone, clone.main.body.nid, 0, 0)
+        assert count_finishes(program) == 0
+
+    def test_ast_equal_detects_difference(self):
+        a = parse("def main() { print(1); }")
+        b = parse("def main() { print(2); }")
+        assert not ast_equal(a, b)
+
+    def test_ast_equal_ignores_positions(self):
+        a = parse("def main() { print(1); }")
+        b = parse("def main()\n\n{\n  print(1);\n}")
+        assert ast_equal(a, b)
+
+    def test_renumber_assigns_sequential_ids(self):
+        program = parse(NESTED)
+        fresh = renumber(program)
+        ids = [n.nid for n in ast.walk(fresh)]
+        assert sorted(ids) == list(range(1, len(ids) + 1))
+        assert ast_equal(program, fresh)
+
+    def test_fresh_id_monotonic(self):
+        program = parse("def main() { }")
+        a = program.fresh_id()
+        b = program.fresh_id()
+        assert b == a + 1
+        program.note_max_id(1000)
+        assert program.fresh_id() == 1001

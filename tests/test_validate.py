@@ -1,0 +1,103 @@
+"""Static well-formedness checks."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.lang import parse, validate
+from repro.runtime import BUILTIN_NAMES
+
+
+def check(source: str, require_main: bool = True) -> None:
+    validate(parse(source), BUILTIN_NAMES, require_main=require_main)
+
+
+class TestScoping:
+    def test_valid_program_passes(self):
+        check("def main() { var x = 1; print(x); }")
+
+    def test_undeclared_variable(self):
+        with pytest.raises(ValidationError, match="undeclared"):
+            check("def main() { print(nope); }")
+
+    def test_use_before_declaration(self):
+        with pytest.raises(ValidationError):
+            check("def main() { print(x); var x = 1; }")
+
+    def test_duplicate_in_same_scope(self):
+        with pytest.raises(ValidationError, match="duplicate"):
+            check("def main() { var x = 1; var x = 2; }")
+
+    def test_shadowing_in_nested_scope_allowed(self):
+        check("def main() { var x = 1; { var x = 2; print(x); } print(x); }")
+
+    def test_block_scope_does_not_leak(self):
+        with pytest.raises(ValidationError):
+            check("def main() { { var x = 1; } print(x); }")
+
+    def test_for_init_scoped_to_loop(self):
+        with pytest.raises(ValidationError):
+            check("def main() { for (var i = 0; i < 3; i = i + 1) { } print(i); }")
+
+    def test_globals_visible_in_functions(self):
+        check("var g = 1; def main() { print(g); }")
+
+    def test_params_visible(self):
+        check("def f(a) { print(a); } def main() { f(1); }")
+
+    def test_assignment_to_undeclared(self):
+        with pytest.raises(ValidationError):
+            check("def main() { y = 3; }")
+
+
+class TestControlPlacement:
+    def test_break_outside_loop(self):
+        with pytest.raises(ValidationError, match="break"):
+            check("def main() { break; }")
+
+    def test_continue_outside_loop(self):
+        with pytest.raises(ValidationError, match="continue"):
+            check("def main() { continue; }")
+
+    def test_break_inside_loop_ok(self):
+        check("def main() { while (true) { break; } }")
+
+    def test_break_cannot_cross_async(self):
+        with pytest.raises(ValidationError, match="break"):
+            check("def main() { while (true) { async { break; } } }")
+
+    def test_return_inside_async_rejected(self):
+        with pytest.raises(ValidationError, match="return inside async"):
+            check("def f() { async { return; } } def main() { f(); }")
+
+    def test_return_inside_finish_ok(self):
+        check("def f() { finish { return; } } def main() { f(); }")
+
+    def test_loop_inside_async_can_break(self):
+        check("def main() { async { while (true) { break; } } }")
+
+
+class TestCallsAndTypes:
+    def test_unknown_function(self):
+        with pytest.raises(ValidationError, match="unknown function"):
+            check("def main() { mystery(); }")
+
+    def test_builtin_recognized(self):
+        check("def main() { print(sqrt(2.0)); }")
+
+    def test_user_function_arity(self):
+        with pytest.raises(ValidationError, match="expected 2"):
+            check("def f(a, b) { } def main() { f(1); }")
+
+    def test_unknown_struct(self):
+        with pytest.raises(ValidationError, match="unknown struct"):
+            check("def main() { var p = new Ghost(); }")
+
+    def test_known_struct(self):
+        check("struct S { x } def main() { var s = new S(); }")
+
+    def test_main_required(self):
+        with pytest.raises(ValidationError, match="main"):
+            check("def helper() { }")
+
+    def test_main_not_required_when_disabled(self):
+        check("def helper() { }", require_main=False)

@@ -1,0 +1,83 @@
+"""DOT exports of the analysis artefacts."""
+
+from repro.graph import ComputationGraph
+from repro.races import detect_races
+from repro.repair.dependence import (
+    build_dependence_graph,
+    group_races_by_nslca,
+)
+from repro.viz import (
+    computation_graph_to_dot,
+    dependence_graph_to_dot,
+    dpst_to_dot,
+)
+from tests.conftest import build
+
+SOURCE = """
+var x = 0;
+def main() {
+    var pre = 1;
+    async { x = pre; }
+    async { x = 2; }
+    print(x);
+}
+"""
+
+
+def detection():
+    return detect_races(build(SOURCE))
+
+
+class TestDpstDot:
+    def test_structure(self):
+        det = detection()
+        dot = dpst_to_dot(det.dpst, det.report)
+        assert dot.startswith("digraph sdpst {")
+        assert dot.rstrip().endswith("}")
+        assert "Async" in dot
+        assert "Step" in dot
+
+    def test_race_edges_rendered(self):
+        det = detection()
+        dot = dpst_to_dot(det.dpst, det.report)
+        assert dot.count("style=dashed, color=red") == len(det.report)
+
+    def test_max_nodes_respected(self):
+        det = detection()
+        dot = dpst_to_dot(det.dpst, max_nodes=3)
+        assert dot.count("[label=") <= 3
+
+    def test_labels_escaped(self):
+        det = detection()
+        dot = dpst_to_dot(det.dpst)
+        assert '\\"' not in dot or '"' in dot  # no raw broken quotes
+
+
+class TestDependenceDot:
+    def test_nodes_and_edges(self):
+        det = detection()
+        pairs = det.report.distinct_step_pairs()
+        groups = group_races_by_nslca(det.dpst, pairs)
+        nslca, group = next(iter(groups.items()))
+        graph = build_dependence_graph(det.dpst, nslca, group)
+        dot = dependence_graph_to_dot(graph)
+        assert dot.count("d0") >= 1
+        assert dot.count("->") == len(graph.edges)
+
+
+class TestComputationDot:
+    def test_critical_path_highlighted(self):
+        det = detection()
+        graph = ComputationGraph.from_dpst(det.dpst)
+        dot = computation_graph_to_dot(graph)
+        assert "fillcolor" in dot
+        assert dot.count("s0") >= 0
+        # every node appears
+        for idx in graph.order:
+            assert f"s{idx} [label=" in dot
+
+    def test_without_highlight(self):
+        det = detection()
+        graph = ComputationGraph.from_dpst(det.dpst)
+        dot = computation_graph_to_dot(graph, highlight_critical_path=False)
+        assert "penwidth" not in dot

@@ -1,0 +1,205 @@
+#!/usr/bin/env python
+"""Engine benchmark: the Table-1 suite under both execution engines.
+
+Measures, for every benchmark program, (a) a plain uninstrumented run
+(``execute`` — the Table-3 baseline) and (b) full race detection
+(``detect`` — execution + S-DPST construction + ESP-bags), under both
+the tree-walking interpreter and the closure-compiled engine.
+
+Methodology: every single timing runs in a *fresh* Python process (the
+script re-invokes itself), so no measurement inherits allocator arenas,
+GC history or interned objects from a previous one — same-process
+back-to-back timings of allocation-heavy runs cross-contaminate by
+10-20% depending on ordering.  Each (program, phase, engine, detector)
+cell reports the best of ``--trials`` runs.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench.py               # full, writes BENCH_pr2.json
+    PYTHONPATH=src python scripts/bench.py --quick       # tiny inputs, 1 trial, stdout only
+    PYTHONPATH=src python scripts/bench.py --programs crypt fannkuch
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import subprocess
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench.suite import BENCHMARK_ORDER, get_benchmark  # noqa: E402
+
+DETECTORS = ("mrw", "srw")
+ENGINES = ("tree", "compiled")
+
+
+def _measure_child(options: argparse.Namespace) -> int:
+    """Run one measurement in this (fresh) process; print a JSON record."""
+    spec = get_benchmark(options.program)
+    args = spec.test_args if options.args == "test" else spec.repair_args
+    program = spec.parse()
+    if options.phase == "execute":
+        from repro.runtime import run_program
+        start = time.perf_counter()
+        result = run_program(program, args, engine=options.engine)
+        elapsed = time.perf_counter() - start
+        record = {"wall_time_s": elapsed, "ops": result.ops,
+                  "monitored_accesses": 0, "races": 0}
+    else:
+        from repro.lang import strip_finishes
+        from repro.races import detect_races
+        # Detection is measured on the finish-stripped (racy) variant:
+        # that is the program the repair loop actually runs the detector
+        # on for the Table-1 experiments.
+        program = strip_finishes(program)
+        start = time.perf_counter()
+        result = detect_races(program, args, algorithm=options.detector,
+                              engine=options.engine)
+        elapsed = time.perf_counter() - start
+        detector = result.detector
+        record = {"wall_time_s": elapsed, "ops": result.execution.ops,
+                  "monitored_accesses": getattr(detector,
+                                                "monitored_accesses", 0),
+                  "races": result.race_count}
+    print(json.dumps(record))
+    return 0
+
+
+def _run_cell(program: str, phase: str, engine: str, detector: str,
+              args_kind: str, trials: int) -> dict:
+    """Best-of-N fresh-process runs of one benchmark cell."""
+    cmd = [sys.executable, os.path.abspath(__file__), "--_measure",
+           "--program", program, "--phase", phase, "--engine", engine,
+           "--detector", detector, "--args", args_kind]
+    best = None
+    for _ in range(trials):
+        out = subprocess.run(cmd, capture_output=True, text=True, check=True)
+        record = json.loads(out.stdout.strip().splitlines()[-1])
+        if best is None or record["wall_time_s"] < best["wall_time_s"]:
+            best = record
+    row = {"program": program, "phase": phase, "engine": engine,
+           "detector": detector if phase == "detect" else None,
+           "args": args_kind}
+    row.update(best)
+    wall = best["wall_time_s"]
+    row["ops_per_sec"] = round(best["ops"] / wall) if wall > 0 else None
+    row["wall_time_s"] = round(wall, 4)
+    return row
+
+
+def _speedup_summary(rows: list) -> dict:
+    """Median tree/compiled speedup per (phase, detector) configuration."""
+    cells = {}
+    for row in rows:
+        key = (row["program"], row["phase"], row["detector"])
+        cells.setdefault(key, {})[row["engine"]] = row["wall_time_s"]
+    ratios = {}
+    for (program, phase, detector), times in sorted(cells.items()):
+        if "tree" not in times or "compiled" not in times:
+            continue
+        if times["compiled"] <= 0:
+            continue
+        config = phase if detector is None else f"{phase}_{detector}"
+        ratios.setdefault(config, {})[program] = round(
+            times["tree"] / times["compiled"], 2)
+    summary = {}
+    for config, per_program in ratios.items():
+        summary[config] = {
+            "per_program_speedup": per_program,
+            "median_speedup": round(
+                statistics.median(per_program.values()), 2),
+        }
+    return summary
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny test inputs, 1 trial, no file written "
+                             "unless --output is given (CI smoke mode)")
+    parser.add_argument("--trials", type=int, default=None,
+                        help="fresh-process runs per cell (default: 3, "
+                             "or 1 with --quick)")
+    parser.add_argument("--programs", nargs="*", default=None,
+                        help="subset of benchmark names (default: all)")
+    parser.add_argument("--detectors", nargs="*", default=list(DETECTORS),
+                        choices=DETECTORS, help="detectors to measure")
+    parser.add_argument("--output", default=None,
+                        help="output JSON path (default: BENCH_pr2.json "
+                             "next to the repo root; suppressed by --quick)")
+    # Internal: one measurement in a fresh process.
+    parser.add_argument("--_measure", action="store_true",
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--program", help=argparse.SUPPRESS)
+    parser.add_argument("--phase", help=argparse.SUPPRESS)
+    parser.add_argument("--engine", help=argparse.SUPPRESS)
+    parser.add_argument("--detector", help=argparse.SUPPRESS)
+    parser.add_argument("--args", default="repair", help=argparse.SUPPRESS)
+    options = parser.parse_args(argv)
+
+    if options._measure:
+        return _measure_child(options)
+
+    trials = options.trials or (1 if options.quick else 3)
+    args_kind = "test" if options.quick else "repair"
+    programs = options.programs or list(BENCHMARK_ORDER)
+
+    rows = []
+    for program in programs:
+        for phase in ("execute", "detect"):
+            detectors = options.detectors if phase == "detect" else ["mrw"]
+            for detector in detectors:
+                for engine in ENGINES:
+                    row = _run_cell(program, phase, engine, detector,
+                                    args_kind, trials)
+                    rows.append(row)
+                    label = phase if phase == "execute" \
+                        else f"{phase}[{detector}]"
+                    print(f"{program:14s} {label:12s} {engine:8s} "
+                          f"{row['wall_time_s'] * 1000:9.1f} ms  "
+                          f"{row['ops_per_sec'] or 0:>12,} ops/s",
+                          file=sys.stderr)
+
+    summary = _speedup_summary(rows)
+    document = {
+        "meta": {
+            "suite": "Table 1 (paper benchmark programs); execute = "
+                     "original program, detect = finish-stripped (racy) "
+                     "variant as in the repair loop",
+            "inputs": "test_args" if options.quick else
+                      "repair_args (paper Table 1 repair sizes)",
+            "trials": trials,
+            "methodology": "best-of-N, one fresh Python process per "
+                           "measurement",
+            "engines": list(ENGINES),
+            "python": sys.version.split()[0],
+        },
+        "rows": rows,
+        "summary": summary,
+    }
+    for config, data in sorted(summary.items()):
+        print(f"median speedup (compiled vs tree) {config}: "
+              f"{data['median_speedup']}x", file=sys.stderr)
+
+    output = options.output
+    if output is None and not options.quick:
+        output = os.path.join(os.path.dirname(__file__), "..",
+                              "BENCH_pr2.json")
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {os.path.abspath(output)}", file=sys.stderr)
+    else:
+        json.dump(document, sys.stdout, indent=2, sort_keys=True)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

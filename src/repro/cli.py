@@ -25,7 +25,7 @@ from .graph import measure_program
 from .lang import parse, serial_elision, strip_finishes, validate
 from .races import detect_races
 from .repair import repair_program
-from .runtime import BUILTIN_NAMES
+from .runtime import BUILTIN_NAMES, ENGINES, set_default_engine
 
 
 def _parse_arg(text: str) -> Any:
@@ -179,6 +179,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-repair",
         description="Test-driven repair of data races in async/finish "
                     "programs (PLDI 2014 reproduction)")
+    parser.add_argument(
+        "--engine", choices=ENGINES, default=None,
+        help="execution engine for every run this command performs: "
+             "'compiled' (closure-compiled, the default) or 'tree' "
+             "(the reference tree-walking interpreter); both produce "
+             "identical results")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_common(p) -> None:
@@ -242,6 +248,8 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] = None) -> int:
     parser = build_parser()
     options = parser.parse_args(argv)
+    if options.engine:
+        set_default_engine(options.engine)
     try:
         return options.func(options)
     except ReproError as error:

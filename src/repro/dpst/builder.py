@@ -58,6 +58,11 @@ class DpstBuilder(ExecutionObserver):
         self.current_anchor: Optional[int] = None
         self._anchor_stack: List[Optional[int]] = []
         self._finished = False
+        # Per-access hot path: the detector callbacks are bound once here
+        # instead of being re-resolved through two attribute loads on
+        # every monitored read/write.
+        self._on_read = self.detector.on_read
+        self._on_write = self.detector.on_write
         self.detector.task_begin(self.root)
 
     # ------------------------------------------------------------------
@@ -140,16 +145,96 @@ class DpstBuilder(ExecutionObserver):
     def exit_scope(self) -> None:
         self._pop()
 
+    # The three per-access observer hooks below inline ensure_step()'s
+    # fast path (current step exists, anchor already recorded): they are
+    # called once per monitored access / cost flush and dominate the
+    # instrumented run's overhead.
+
     def read(self, addr, node: ast.Node) -> None:
-        step = self.ensure_step()
-        self.detector.on_read(addr, self._task_stack[-1], step, node)
+        step = self.current_step
+        anchor = self.current_anchor
+        if step is None:
+            step = self.ensure_step()
+        elif anchor is not None:
+            anchors = step.anchors
+            if not anchors or anchors[-1] != anchor:
+                anchors.append(anchor)
+                if step.anchor_nid is None:
+                    step.anchor_nid = anchor
+        self._on_read(addr, self._task_stack[-1], step, node)
 
     def write(self, addr, node: ast.Node) -> None:
-        step = self.ensure_step()
-        self.detector.on_write(addr, self._task_stack[-1], step, node)
+        step = self.current_step
+        anchor = self.current_anchor
+        if step is None:
+            step = self.ensure_step()
+        elif anchor is not None:
+            anchors = step.anchors
+            if not anchors or anchors[-1] != anchor:
+                anchors.append(anchor)
+                if step.anchor_nid is None:
+                    step.anchor_nid = anchor
+        self._on_write(addr, self._task_stack[-1], step, node)
 
     def add_cost(self, units: int) -> None:
-        self.ensure_step().cost += units
+        step = self.current_step
+        anchor = self.current_anchor
+        if step is None:
+            step = self.ensure_step()
+        elif anchor is not None:
+            anchors = step.anchors
+            if not anchors or anchors[-1] != anchor:
+                anchors.append(anchor)
+                if step.anchor_nid is None:
+                    step.anchor_nid = anchor
+        step.cost += units
+
+    # Fused entry points used by the compiled engine: exactly
+    # ``add_cost(units)`` (when non-zero) followed by ``read``/``write``,
+    # but with the step/anchor bookkeeping done once instead of twice and
+    # one observer call instead of two.  Net effect on the S-DPST and the
+    # detector is identical to the two-call sequence.
+
+    def cost_read(self, units: int, addr, node: ast.Node) -> None:
+        step = self.current_step
+        anchor = self.current_anchor
+        if step is None:
+            # ensure_step() unrolled: build the step node in place.
+            self._counter += 1
+            parent = self._stack[-1]
+            step = DpstNode(STEP, self._counter, parent, anchor_nid=anchor)
+            if anchor is not None:
+                step.anchors.append(anchor)
+            parent.children.append(step)
+            self.current_step = step
+        elif anchor is not None:
+            anchors = step.anchors
+            if not anchors or anchors[-1] != anchor:
+                anchors.append(anchor)
+                if step.anchor_nid is None:
+                    step.anchor_nid = anchor
+        step.cost += units
+        self._on_read(addr, self._task_stack[-1], step, node)
+
+    def cost_write(self, units: int, addr, node: ast.Node) -> None:
+        step = self.current_step
+        anchor = self.current_anchor
+        if step is None:
+            self._counter += 1
+            parent = self._stack[-1]
+            step = DpstNode(STEP, self._counter, parent, anchor_nid=anchor)
+            if anchor is not None:
+                step.anchors.append(anchor)
+            parent.children.append(step)
+            self.current_step = step
+        elif anchor is not None:
+            anchors = step.anchors
+            if not anchors or anchors[-1] != anchor:
+                anchors.append(anchor)
+                if step.anchor_nid is None:
+                    step.anchor_nid = anchor
+        step.cost += units
+        self._on_write(addr, self._task_stack[-1], step, node)
 
     # ------------------------------------------------------------------
     # Finalization

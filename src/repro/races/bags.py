@@ -19,36 +19,51 @@ Transitions:
 
 A previous accessor ``W`` races with the current access iff the bag
 containing ``W`` is currently a P-bag.
+
+Task keys are **small non-negative integers** — the detectors use S-DPST
+node indices — so the union-find forest lives in flat lists indexed by
+task key rather than hash tables: ``is_parallel``, the detectors' hottest
+call, is two list walks with no hashing.  Finish keys remain arbitrary
+hashable values (finish events are orders of magnitude rarer than
+accesses) and live in a dict.
+
+``clock`` counts S/P transitions: it is bumped exactly when some set's
+tag changes (a task ending flips its set to P; a non-empty finish
+draining flips its P-bag to S).  Between two operations with equal
+``clock`` values, ``is_parallel`` verdicts for already-registered tasks
+cannot have changed — the MRW detector uses this to skip whole-shadow
+scans that provably repeat a previous clean scan.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Optional
+from typing import Dict, Hashable, List, Optional
 
 S_BAG = "S"
 P_BAG = "P"
 
 
 class BagManager:
-    """Union-find over task ids with an S/P tag per set root.
+    """Union-find over int task keys with an S/P tag per set root."""
 
-    Elements are arbitrary hashable task keys (the detectors use S-DPST
-    node indices).  Finish keys live in a separate namespace supplied by
-    the caller.
-    """
+    __slots__ = ("_parent", "_rank", "_ptag", "_pbag_rep", "clock")
 
     def __init__(self) -> None:
-        self._parent: Dict[Hashable, Hashable] = {}
-        self._rank: Dict[Hashable, int] = {}
-        self._tag: Dict[Hashable, str] = {}
+        #: parent[i] == i for roots; lists grow on make_s_bag.
+        self._parent: List[int] = []
+        self._rank: List[int] = []
+        #: True = the set whose root this is, is currently a P-bag.
+        self._ptag: List[bool] = []
         # Representative element of each finish's P-bag (None while empty).
-        self._pbag_rep: Dict[Hashable, Optional[Hashable]] = {}
+        self._pbag_rep: Dict[Hashable, Optional[int]] = {}
+        #: S/P transition counter (see module docstring).
+        self.clock = 0
 
     # ------------------------------------------------------------------
     # Union-find core
     # ------------------------------------------------------------------
 
-    def _find(self, item: Hashable) -> Hashable:
+    def _find(self, item: int) -> int:
         parent = self._parent
         root = item
         while parent[root] != root:
@@ -57,55 +72,74 @@ class BagManager:
             parent[item], item = root, parent[item]
         return root
 
-    def _union(self, a: Hashable, b: Hashable, tag: str) -> Hashable:
+    def _union(self, a: int, b: int, parallel: bool) -> int:
         ra, rb = self._find(a), self._find(b)
-        if ra is rb or ra == rb:
-            self._tag[ra] = tag
+        if ra == rb:
+            self._ptag[ra] = parallel
             return ra
-        if self._rank[ra] < self._rank[rb]:
+        rank = self._rank
+        if rank[ra] < rank[rb]:
             ra, rb = rb, ra
         self._parent[rb] = ra
-        if self._rank[ra] == self._rank[rb]:
-            self._rank[ra] += 1
-        self._tag[ra] = tag
+        if rank[ra] == rank[rb]:
+            rank[ra] += 1
+        self._ptag[ra] = parallel
         return ra
 
     # ------------------------------------------------------------------
     # ESP-bags operations
     # ------------------------------------------------------------------
 
-    def make_s_bag(self, task: Hashable) -> None:
+    def make_s_bag(self, task: int) -> None:
         """Task begins: S-bag(task) = { task }."""
-        self._parent[task] = task
-        self._rank[task] = 0
-        self._tag[task] = S_BAG
+        parent = self._parent
+        size = len(parent)
+        if task >= size:
+            # Grow through ``task``; the gap entries become inert
+            # singletons (S-tagged, self-parented) until registered.
+            count = task + 1 - size
+            parent.extend(range(size, task + 1))
+            self._rank.extend([0] * count)
+            self._ptag.extend([False] * count)
+        else:
+            parent[task] = task
+            self._rank[task] = 0
+            self._ptag[task] = False
 
     def register_finish(self, finish: Hashable) -> None:
         """Finish begins: an empty P-bag."""
         self._pbag_rep[finish] = None
 
-    def task_ends(self, task: Hashable, enclosing_finish: Hashable) -> None:
+    def task_ends(self, task: int, enclosing_finish: Hashable) -> None:
         """Move the (whole set containing) ``task`` into the P-bag of its
         immediately enclosing finish."""
         rep = self._pbag_rep.get(enclosing_finish)
         root = self._find(task)
         if rep is None:
-            self._tag[root] = P_BAG
+            self._ptag[root] = True
             self._pbag_rep[enclosing_finish] = root
         else:
-            self._pbag_rep[enclosing_finish] = self._union(rep, root, P_BAG)
+            self._pbag_rep[enclosing_finish] = self._union(rep, root, True)
+        self.clock += 1
 
-    def finish_ends(self, finish: Hashable, owner_task: Hashable) -> None:
+    def finish_ends(self, finish: Hashable, owner_task: int) -> None:
         """Drain the finish's P-bag into the owner task's S-bag."""
         rep = self._pbag_rep.pop(finish, None)
         if rep is not None:
-            self._union(rep, owner_task, S_BAG)
+            self._union(rep, owner_task, False)
+            self.clock += 1
 
-    def is_parallel(self, task: Hashable) -> bool:
+    def is_parallel(self, task: int) -> bool:
         """True iff ``task`` currently sits in a P-bag — i.e. an access it
         made can run in parallel with the current execution point."""
-        return self._tag[self._find(task)] == P_BAG
+        parent = self._parent
+        root = task
+        while parent[root] != root:
+            root = parent[root]
+        while parent[task] != root:  # path compression
+            parent[task], task = root, parent[task]
+        return self._ptag[root]
 
-    def tag_of(self, task: Hashable) -> str:
+    def tag_of(self, task: int) -> str:
         """The S/P tag of the set containing ``task``."""
-        return self._tag[self._find(task)]
+        return P_BAG if self._ptag[self._find(task)] else S_BAG

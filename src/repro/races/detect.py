@@ -7,6 +7,7 @@ set with the selected ESP-bags variant.
 
 from __future__ import annotations
 
+import gc
 import time
 from typing import Any, Optional, Sequence
 
@@ -49,20 +50,38 @@ def detect_races(program: ast.Program, args: Sequence[Any] = (),
                  algorithm: str = "mrw",
                  detector: Optional[EspBagsDetector] = None,
                  seed: int = 20140609,
-                 max_ops: int = 200_000_000) -> DetectionResult:
+                 max_ops: int = 200_000_000,
+                 engine: Optional[str] = None) -> DetectionResult:
     """Run ``main(*args)`` sequentially and report all data races.
 
     ``algorithm`` selects ``"mrw"`` (default, complete in one run) or
     ``"srw"`` (the original single reader-writer ESP-bags).  A caller may
     instead pass a pre-built ``detector`` (e.g. the MHP oracle).
+    ``engine`` picks the execution engine (``"tree"``/``"compiled"``);
+    ``None`` uses the process default — both engines produce identical
+    race reports.
     """
     if detector is None:
         detector = make_detector(algorithm)
     start = time.perf_counter()
     builder = DpstBuilder(detector)
-    interp = Interpreter(program, builder, seed=seed, max_ops=max_ops)
-    execution = interp.run(args)
-    dpst = builder.finish()
+    interp = Interpreter(program, builder, seed=seed, max_ops=max_ops,
+                         engine=engine)
+    # The run allocates large, long-lived graphs (S-DPST nodes, shadow
+    # entries) at a steady rate; with the cyclic collector enabled every
+    # generation-2 pass re-traverses the whole growing structure and can
+    # account for >20% of detection time.  Nothing here needs cycle
+    # collection mid-run, so pause it and let the caller's next natural
+    # collection reclaim any garbage afterwards.
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    try:
+        execution = interp.run(args)
+        dpst = builder.finish()
+    finally:
+        if gc_was_enabled:
+            gc.enable()
     if hasattr(detector, "report"):
         report = detector.report()
     elif hasattr(detector, "compute_report"):

@@ -15,7 +15,7 @@ per-location access summary:
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional
 
 from ..dpst.builder import DetectorBase
 from ..dpst.nodes import DpstNode
@@ -39,15 +39,20 @@ class _Access:
 
 
 class EspBagsDetector(DetectorBase):
-    """Common machinery: bag transitions, race recording, the IEF stack."""
+    """Common machinery: bag transitions, race recording, the IEF stacks."""
 
     name = "esp-bags"
 
     def __init__(self) -> None:
         self.bags = BagManager()
         self.bags.register_finish(_IMPLICIT_FINISH)
-        # Mixed stack of ("task"|"finish", DpstNode) mirroring execution.
-        self._stack: List[Tuple[str, DpstNode]] = []
+        # Task and finish keys mirroring execution, as *separate* stacks:
+        # begin/end events nest properly, so when a task ends its
+        # immediately-enclosing finish is simply the top of the finish
+        # stack (and vice versa) — O(1) instead of the O(depth) reversed
+        # scan of a mixed stack on every task/finish end.
+        self._task_keys: List[int] = []
+        self._finish_keys: List = [_IMPLICIT_FINISH]
         self.races: List[DataRace] = []
         self._race_keys = set()
         #: number of accesses monitored (a proxy for detector overhead)
@@ -59,34 +64,30 @@ class EspBagsDetector(DetectorBase):
 
     def task_begin(self, task: DpstNode) -> None:
         self.bags.make_s_bag(task.index)
-        self._stack.append(("task", task))
+        self._task_keys.append(task.index)
 
     def task_end(self, task: DpstNode) -> None:
-        kind, node = self._stack.pop()
-        assert kind == "task" and node is task, "unbalanced task events"
-        self.bags.task_ends(task.index, self._enclosing_finish_key())
+        popped = self._task_keys.pop()
+        assert popped == task.index, "unbalanced task events"
+        self.bags.task_ends(task.index, self._finish_keys[-1])
 
     def finish_begin(self, finish: DpstNode) -> None:
         self.bags.register_finish(finish.index)
-        self._stack.append(("finish", finish))
+        self._finish_keys.append(finish.index)
 
     def finish_end(self, finish: DpstNode) -> None:
-        kind, node = self._stack.pop()
-        assert kind == "finish" and node is finish, "unbalanced finish events"
+        popped = self._finish_keys.pop()
+        assert popped == finish.index, "unbalanced finish events"
         owner = self._enclosing_task_key()
         self.bags.finish_ends(finish.index, owner)
 
     def _enclosing_finish_key(self):
-        for kind, node in reversed(self._stack):
-            if kind == "finish":
-                return node.index
-        return _IMPLICIT_FINISH
+        return self._finish_keys[-1]
 
     def _enclosing_task_key(self) -> int:
-        for kind, node in reversed(self._stack):
-            if kind == "task":
-                return node.index
-        raise AssertionError("no enclosing task on detector stack")
+        if not self._task_keys:
+            raise AssertionError("no enclosing task on detector stack")
+        return self._task_keys[-1]
 
     # ------------------------------------------------------------------
     # Race recording
@@ -116,39 +117,61 @@ class SrwEspBagsDetector(EspBagsDetector):
 
     def __init__(self) -> None:
         super().__init__()
-        # addr -> [writer access or None, reader access or None]
-        self.shadow: Dict[Any, List[Optional[_Access]]] = {}
+        # addr -> [writer access or None, reader access or None,
+        #          writer-serial clock, reader-serial clock].
+        # The clock slots record the bag clock at which the occupant was
+        # last verified *not* parallel (-1 if never): the clock is
+        # monotonic and only advances on S/P transitions, so an equal
+        # clock proves the verdict is unchanged and the union-find walk
+        # can be skipped.  A slot also gets the current clock when its
+        # occupant is replaced by the *currently executing* task, whose
+        # own set is by construction an S-bag until it ends.
+        self.shadow: Dict[Any, list] = {}
 
     def on_read(self, addr, task: DpstNode, step: DpstNode,
                 node: ast.Node) -> None:
         self.monitored_accesses += 1
         entry = self.shadow.get(addr)
         if entry is None:
-            entry = [None, None]
+            entry = [None, None, -1, -1]
             self.shadow[addr] = entry
+        bags = self.bags
+        clock = bags.clock
         writer = entry[0]
-        if writer is not None and self.bags.is_parallel(writer.task_key):
-            self._record(writer, addr, "W->R", step, node, task.index)
-        reader = entry[1]
+        if writer is not None and entry[2] != clock:
+            if bags.is_parallel(writer.task_key):
+                self._record(writer, addr, "W->R", step, node, task.index)
+            else:
+                entry[2] = clock
         # Keep a reader that is still (potentially) parallel; replace a
         # serialized one with the current access.
-        if reader is None or not self.bags.is_parallel(reader.task_key):
+        reader = entry[1]
+        if reader is None or entry[3] == clock \
+                or not bags.is_parallel(reader.task_key):
             entry[1] = _Access(task.index, step, node)
+            entry[3] = clock
 
     def on_write(self, addr, task: DpstNode, step: DpstNode,
                  node: ast.Node) -> None:
         self.monitored_accesses += 1
         entry = self.shadow.get(addr)
         if entry is None:
-            entry = [None, None]
+            entry = [None, None, -1, -1]
             self.shadow[addr] = entry
+        bags = self.bags
+        clock = bags.clock
         writer = entry[0]
-        if writer is not None and self.bags.is_parallel(writer.task_key):
-            self._record(writer, addr, "W->W", step, node, task.index)
+        if writer is not None and entry[2] != clock:
+            if bags.is_parallel(writer.task_key):
+                self._record(writer, addr, "W->W", step, node, task.index)
         reader = entry[1]
-        if reader is not None and self.bags.is_parallel(reader.task_key):
-            self._record(reader, addr, "R->W", step, node, task.index)
+        if reader is not None and entry[3] != clock:
+            if bags.is_parallel(reader.task_key):
+                self._record(reader, addr, "R->W", step, node, task.index)
+            else:
+                entry[3] = clock
         entry[0] = _Access(task.index, step, node)
+        entry[2] = clock
 
 
 class MrwEspBagsDetector(EspBagsDetector):
@@ -165,45 +188,118 @@ class MrwEspBagsDetector(EspBagsDetector):
     complete.  This keeps a sequential accumulator (thousands of writes
     by one task to one cell) at O(1) summary size instead of O(steps),
     which would otherwise make detection quadratic.
+
+    **Scan caches.**  The per-location accessor scan is still the hot
+    loop, and most scans repeat the previous one exactly: a task reading
+    the same location in consecutive steps (a FastTrack-style "same
+    epoch" situation) re-walks writers whose bags have not changed.  The
+    naive FastTrack shortcut — "this task already owns the
+    representative access, skip" — is *unsound* here, because bag tags
+    flip S→P→S over time and a later scan may find races an earlier one
+    could not.  Instead each location caches a fingerprint
+    ``(bags.clock, accessor counts)`` of its last scan **that found zero
+    parallel accessors**: ``clock`` only advances on S/P transitions, so
+    an identical fingerprint proves every verdict is unchanged and the
+    scan can be skipped without altering the race report bit-for-bit.
+    Scans that *did* find parallel accessors are never cached, because
+    each new step must re-record its own race pairs.
     """
 
     name = "mrw-esp-bags"
 
     def __init__(self) -> None:
         super().__init__()
-        # addr -> (writers by task key, readers by task key)
-        self.shadow: Dict[Any, Tuple[Dict[int, _Access],
-                                     Dict[int, _Access]]] = {}
+        # addr -> [writers by task key, readers by task key,
+        #          read-scan clock, read-scan writer count,
+        #          write-scan clock, write-scan writer count,
+        #          write-scan reader count]
+        # Slots 2-6 are the clean-scan fingerprints (-1 = invalid),
+        # stored as flat ints so the hot path compares without
+        # allocating a tuple per access.  The accessor dicts start as
+        # ``None`` (= empty) — most locations only ever see one side, so
+        # eagerly allocating both dicts per address would roughly double
+        # the shadow-memory allocation rate.
+        self.shadow: Dict[Any, list] = {}
 
     def _entry(self, addr):
         entry = self.shadow.get(addr)
         if entry is None:
-            entry = ({}, {})
+            entry = [None, None, -1, -1, -1, -1, -1]
             self.shadow[addr] = entry
         return entry
 
     def on_read(self, addr, task: DpstNode, step: DpstNode,
                 node: ast.Node) -> None:
         self.monitored_accesses += 1
-        writers, readers = self._entry(addr)
-        is_parallel = self.bags.is_parallel
-        for writer in writers.values():
-            if is_parallel(writer.task_key):
-                self._record(writer, addr, "W->R", step, node, task.index)
-        readers.setdefault(task.index, _Access(task.index, step, node))
+        entry = self.shadow.get(addr)
+        if entry is None:
+            entry = [None, None, -1, -1, -1, -1, -1]
+            self.shadow[addr] = entry
+        writers = entry[0]
+        bags = self.bags
+        if writers is not None:
+            clock = bags.clock
+            if entry[2] != clock or entry[3] != len(writers):
+                clean = True
+                is_parallel = bags.is_parallel
+                for writer in writers.values():
+                    if is_parallel(writer.task_key):
+                        self._record(writer, addr, "W->R", step, node,
+                                     task.index)
+                        clean = False
+                if clean:
+                    entry[2] = clock
+                    entry[3] = len(writers)
+                else:
+                    entry[2] = -1
+        readers = entry[1]
+        key = task.index
+        if readers is None:
+            entry[1] = {key: _Access(key, step, node)}
+        elif key not in readers:
+            readers[key] = _Access(key, step, node)
 
     def on_write(self, addr, task: DpstNode, step: DpstNode,
                  node: ast.Node) -> None:
         self.monitored_accesses += 1
-        writers, readers = self._entry(addr)
-        is_parallel = self.bags.is_parallel
-        for writer in writers.values():
-            if is_parallel(writer.task_key):
-                self._record(writer, addr, "W->W", step, node, task.index)
-        for reader in readers.values():
-            if is_parallel(reader.task_key):
-                self._record(reader, addr, "R->W", step, node, task.index)
-        writers.setdefault(task.index, _Access(task.index, step, node))
+        entry = self.shadow.get(addr)
+        if entry is None:
+            entry = [None, None, -1, -1, -1, -1, -1]
+            self.shadow[addr] = entry
+        writers = entry[0]
+        readers = entry[1]
+        bags = self.bags
+        key = task.index
+        if writers is not None or readers is not None:
+            clock = bags.clock
+            num_writers = 0 if writers is None else len(writers)
+            num_readers = 0 if readers is None else len(readers)
+            if (entry[4] != clock or entry[5] != num_writers
+                    or entry[6] != num_readers):
+                clean = True
+                is_parallel = bags.is_parallel
+                if writers is not None:
+                    for writer in writers.values():
+                        if is_parallel(writer.task_key):
+                            self._record(writer, addr, "W->W", step, node,
+                                         key)
+                            clean = False
+                if readers is not None:
+                    for reader in readers.values():
+                        if is_parallel(reader.task_key):
+                            self._record(reader, addr, "R->W", step, node,
+                                         key)
+                            clean = False
+                if clean:
+                    entry[4] = clock
+                    entry[5] = num_writers
+                    entry[6] = num_readers
+                else:
+                    entry[4] = -1
+        if writers is None:
+            entry[0] = {key: _Access(key, step, node)}
+        elif key not in writers:
+            writers[key] = _Access(key, step, node)
 
 
 def make_detector(algorithm: str):

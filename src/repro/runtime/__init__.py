@@ -4,10 +4,13 @@ depth-first interpreter with instrumentation hooks."""
 from .builtins import BUILTIN_NAMES, BUILTINS, BuiltinContext, DeterministicRng
 from .env import Environment
 from .interpreter import (
+    ENGINES,
     ExecutionObserver,
     ExecutionResult,
     Interpreter,
+    get_default_engine,
     run_program,
+    set_default_engine,
 )
 from .schedules import (
     DeferredScheduleInterpreter,
@@ -23,10 +26,13 @@ __all__ = [
     "BuiltinContext",
     "DeterministicRng",
     "Environment",
+    "ENGINES",
     "ExecutionObserver",
     "ExecutionResult",
     "Interpreter",
+    "get_default_engine",
     "run_program",
+    "set_default_engine",
     "Address",
     "ArrayValue",
     "Cell",

@@ -12,10 +12,24 @@ Cost model: every expression node evaluated and every statement executed
 contributes one time unit to the current step.  These unit costs drive the
 critical-path-length and scheduling analyses (the stand-in for the paper's
 measured step execution times).
+
+Two execution engines share this contract:
+
+* ``"tree"`` — the direct AST-walking interpreter in this module, one
+  ``isinstance`` dispatch chain per node visit; and
+* ``"compiled"`` (the default) — the closure-compilation engine in
+  :mod:`repro.runtime.compiler`, which lowers each AST node to a Python
+  closure once and replays the *exact* same observer event stream and op
+  counts several times faster.
+
+Select an engine per run with ``Interpreter(..., engine=...)``, process
+wide with :func:`set_default_engine`, or via the ``REPRO_ENGINE``
+environment variable.
 """
 
 from __future__ import annotations
 
+import os
 import sys
 from typing import Any, List, Optional, Sequence
 
@@ -24,6 +38,30 @@ from ..lang import ast
 from .builtins import BUILTINS, BuiltinContext
 from .env import Environment
 from .values import ArrayValue, StructValue, default_fill, to_display
+
+#: Engines selectable for :class:`Interpreter` / :func:`run_program`.
+ENGINES = ("tree", "compiled")
+
+_default_engine = "compiled"
+
+
+def set_default_engine(name: str) -> None:
+    """Set the engine used when ``Interpreter`` is built without one."""
+    if name not in ENGINES:
+        raise ValueError(f"unknown engine {name!r}; choose from {ENGINES}")
+    global _default_engine
+    _default_engine = name
+
+
+def get_default_engine() -> str:
+    """The process-wide default engine (``REPRO_ENGINE`` overrides)."""
+    env = os.environ.get("REPRO_ENGINE")
+    if env:
+        if env not in ENGINES:
+            raise ValueError(
+                f"REPRO_ENGINE={env!r} is not one of {ENGINES}")
+        return env
+    return _default_engine
 
 
 class ExecutionObserver:
@@ -68,6 +106,25 @@ class ExecutionObserver:
     def add_cost(self, units: int) -> None:
         """``units`` time units of computation happened in the current step."""
 
+    # Fused access events.  The compiled engine reports every monitored
+    # access through these; the defaults decompose them into the exact
+    # ``add_cost``/``read``/``write`` sequence the tree engine emits, so
+    # observers that only implement the primitive hooks see an identical
+    # event stream.  Observers on the per-access hot path (the S-DPST
+    # builder) override them to do the combined work in one call.
+
+    def cost_read(self, units: int, addr, node: ast.Node) -> None:
+        """``units`` of cost followed by a read of ``addr``."""
+        if units:
+            self.add_cost(units)
+        self.read(addr, node)
+
+    def cost_write(self, units: int, addr, node: ast.Node) -> None:
+        """``units`` of cost followed by a write of ``addr``."""
+        if units:
+            self.add_cost(units)
+        self.write(addr, node)
+
 
 class ExecutionResult:
     """What a completed run produced."""
@@ -97,20 +154,143 @@ class _ContinueSignal(Exception):
 _CHECK_INTERVAL = 4096
 
 
+# ----------------------------------------------------------------------
+# Operator semantics (shared by the tree and compiled engines)
+# ----------------------------------------------------------------------
+
+def both_ints(left: Any, right: Any) -> bool:
+    return (isinstance(left, int) and not isinstance(left, bool)
+            and isinstance(right, int) and not isinstance(right, bool))
+
+
+def both_numbers(left: Any, right: Any) -> bool:
+    return (isinstance(left, (int, float)) and not isinstance(left, bool)
+            and isinstance(right, (int, float))
+            and not isinstance(right, bool))
+
+
+def values_equal(left: Any, right: Any) -> bool:
+    if isinstance(left, (ArrayValue, StructValue)) or isinstance(
+            right, (ArrayValue, StructValue)):
+        return left is right
+    if isinstance(left, bool) or isinstance(right, bool):
+        return left is right
+    return left == right
+
+
+def truth_value(value: Any, node: ast.Node) -> bool:
+    if isinstance(value, bool):
+        return value
+    raise RuntimeFault(f"condition is not a boolean "
+                       f"({to_display(value)})", node.line, node.col)
+
+
+def unary_op(op: str, value: Any, node: ast.Node) -> Any:
+    if op == "-":
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise RuntimeFault("unary '-' needs a number",
+                               node.line, node.col)
+        return -value
+    if op == "!":
+        if not isinstance(value, bool):
+            raise RuntimeFault("'!' needs a boolean", node.line, node.col)
+        return not value
+    if op == "~":
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise RuntimeFault("'~' needs an integer", node.line, node.col)
+        return ~value
+    raise RuntimeFault(f"unknown unary operator {op!r}",
+                       node.line, node.col)
+
+
+def binary_op(op: str, left: Any, right: Any, node: ast.Node) -> Any:
+    if op == "+" and (isinstance(left, str) or isinstance(right, str)):
+        return to_display(left) + to_display(right)
+    if op in ("==", "!="):
+        same = values_equal(left, right)
+        return same if op == "==" else not same
+    if op in ("&", "|", "^", "<<", ">>"):
+        if not both_ints(left, right):
+            raise RuntimeFault(f"{op!r} needs integer operands",
+                               node.line, node.col)
+        if op == "&":
+            return left & right
+        if op == "|":
+            return left | right
+        if op == "^":
+            return left ^ right
+        if op == "<<":
+            return left << right
+        return left >> right
+    if not both_numbers(left, right):
+        raise RuntimeFault(
+            f"operator {op!r} needs numeric operands, got "
+            f"{to_display(left)} and {to_display(right)}",
+            node.line, node.col)
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if isinstance(left, int) and isinstance(right, int):
+            if right == 0:
+                raise RuntimeFault("integer division by zero",
+                                   node.line, node.col)
+            # Java-style truncation toward zero.
+            quotient = abs(left) // abs(right)
+            return quotient if (left >= 0) == (right >= 0) else -quotient
+        if right == 0:
+            raise RuntimeFault("division by zero", node.line, node.col)
+        return left / right
+    if op == "%":
+        if right == 0:
+            raise RuntimeFault("modulo by zero", node.line, node.col)
+        if isinstance(left, int) and isinstance(right, int):
+            # Java-style remainder: sign follows the dividend.
+            remainder = abs(left) % abs(right)
+            return remainder if left >= 0 else -remainder
+        return left - right * int(left / right)
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    raise RuntimeFault(f"unknown operator {op!r}", node.line, node.col)
+
+
 class Interpreter:
     """Executes a mini-HJ program sequentially, reporting to an observer."""
+
+    #: recursion headroom the deep depth-first walks need
+    _RECURSION_LIMIT = 100_000
 
     def __init__(self, program: ast.Program,
                  observer: Optional[ExecutionObserver] = None,
                  seed: int = 20140609,
-                 max_ops: int = 200_000_000) -> None:
+                 max_ops: int = 200_000_000,
+                 engine: Optional[str] = None) -> None:
         self.program = program
         self.observer = observer if observer is not None else ExecutionObserver()
         self.ctx = BuiltinContext(seed)
         self.max_ops = max_ops
         self.ops = 0
         self._pending_cost = 0
+        # Next op count at which the step budget is re-checked: every
+        # _CHECK_INTERVAL ops, clamped so the budget itself is never
+        # overshot by more than one op.
+        self._next_check = min(_CHECK_INTERVAL, max_ops + 1)
         self.globals_env = Environment()
+        if engine is None:
+            engine = get_default_engine()
+        elif engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; choose from {ENGINES}")
+        self.engine = engine
 
     # ------------------------------------------------------------------
     # Entry point
@@ -122,14 +302,32 @@ class Interpreter:
         ``args`` may contain Python ints/floats/bools/strings, lists (which
         become fresh arrays) and None.
         """
-        if sys.getrecursionlimit() < 100_000:
-            sys.setrecursionlimit(100_000)
+        saved_limit = sys.getrecursionlimit()
+        raised_limit = saved_limit < self._RECURSION_LIMIT
+        if raised_limit:
+            sys.setrecursionlimit(self._RECURSION_LIMIT)
+        try:
+            return self._run(args)
+        finally:
+            if raised_limit:
+                sys.setrecursionlimit(saved_limit)
+
+    def _run(self, args: Sequence[Any]) -> ExecutionResult:
         main = self.program.functions.get("main")
         if main is None:
             raise RuntimeFault("program has no 'main' function")
         if len(main.params) != len(args):
             raise RuntimeFault(
                 f"main expects {len(main.params)} argument(s), got {len(args)}")
+        if self.engine == "compiled":
+            from .compiler import CompiledEngine
+
+            compiled = CompiledEngine(self.program, self.observer, self.ctx,
+                                      self.globals_env, self.max_ops)
+            try:
+                return compiled.run(args)
+            finally:
+                self.ops = compiled.ops
         for gdecl in self.program.globals:
             self.observer.at_statement(gdecl.nid)
             value = (self._eval(gdecl.init, self.globals_env)
@@ -156,9 +354,12 @@ class Interpreter:
     def _tick(self) -> None:
         self.ops += 1
         self._pending_cost += 1
-        if self.ops % _CHECK_INTERVAL == 0 and self.ops > self.max_ops:
-            raise StepLimitExceeded(
-                f"execution exceeded {self.max_ops} operations")
+        if self.ops >= self._next_check:
+            if self.ops > self.max_ops:
+                raise StepLimitExceeded(
+                    f"execution exceeded {self.max_ops} operations")
+            self._next_check = min(self.ops + _CHECK_INTERVAL,
+                                   self.max_ops + 1)
 
     def _flush_cost(self) -> None:
         if self._pending_cost:
@@ -471,116 +672,21 @@ class Interpreter:
         return base
 
     # ------------------------------------------------------------------
-    # Operators
+    # Operators (module-level functions shared with the compiled engine)
     # ------------------------------------------------------------------
 
-    def _truth(self, value: Any, node: ast.Node) -> bool:
-        if isinstance(value, bool):
-            return value
-        raise RuntimeFault(f"condition is not a boolean "
-                           f"({to_display(value)})", node.line, node.col)
-
-    def _unary_op(self, op: str, value: Any, node: ast.Node) -> Any:
-        if op == "-":
-            if isinstance(value, bool) or not isinstance(value, (int, float)):
-                raise RuntimeFault("unary '-' needs a number",
-                                   node.line, node.col)
-            return -value
-        if op == "!":
-            if not isinstance(value, bool):
-                raise RuntimeFault("'!' needs a boolean", node.line, node.col)
-            return not value
-        if op == "~":
-            if isinstance(value, bool) or not isinstance(value, int):
-                raise RuntimeFault("'~' needs an integer", node.line, node.col)
-            return ~value
-        raise RuntimeFault(f"unknown unary operator {op!r}",
-                           node.line, node.col)
-
-    def _binary_op(self, op: str, left: Any, right: Any,
-                   node: ast.Node) -> Any:
-        if op == "+" and (isinstance(left, str) or isinstance(right, str)):
-            return to_display(left) + to_display(right)
-        if op in ("==", "!="):
-            same = self._values_equal(left, right)
-            return same if op == "==" else not same
-        if op in ("&", "|", "^", "<<", ">>"):
-            if not self._both_ints(left, right):
-                raise RuntimeFault(f"{op!r} needs integer operands",
-                                   node.line, node.col)
-            if op == "&":
-                return left & right
-            if op == "|":
-                return left | right
-            if op == "^":
-                return left ^ right
-            if op == "<<":
-                return left << right
-            return left >> right
-        if not self._both_numbers(left, right):
-            raise RuntimeFault(
-                f"operator {op!r} needs numeric operands, got "
-                f"{to_display(left)} and {to_display(right)}",
-                node.line, node.col)
-        if op == "+":
-            return left + right
-        if op == "-":
-            return left - right
-        if op == "*":
-            return left * right
-        if op == "/":
-            if isinstance(left, int) and isinstance(right, int):
-                if right == 0:
-                    raise RuntimeFault("integer division by zero",
-                                       node.line, node.col)
-                # Java-style truncation toward zero.
-                quotient = abs(left) // abs(right)
-                return quotient if (left >= 0) == (right >= 0) else -quotient
-            if right == 0:
-                raise RuntimeFault("division by zero", node.line, node.col)
-            return left / right
-        if op == "%":
-            if right == 0:
-                raise RuntimeFault("modulo by zero", node.line, node.col)
-            if isinstance(left, int) and isinstance(right, int):
-                # Java-style remainder: sign follows the dividend.
-                remainder = abs(left) % abs(right)
-                return remainder if left >= 0 else -remainder
-            return left - right * int(left / right)
-        if op == "<":
-            return left < right
-        if op == "<=":
-            return left <= right
-        if op == ">":
-            return left > right
-        if op == ">=":
-            return left >= right
-        raise RuntimeFault(f"unknown operator {op!r}", node.line, node.col)
-
-    @staticmethod
-    def _both_ints(left: Any, right: Any) -> bool:
-        return (isinstance(left, int) and not isinstance(left, bool)
-                and isinstance(right, int) and not isinstance(right, bool))
-
-    @staticmethod
-    def _both_numbers(left: Any, right: Any) -> bool:
-        return (isinstance(left, (int, float)) and not isinstance(left, bool)
-                and isinstance(right, (int, float))
-                and not isinstance(right, bool))
-
-    @staticmethod
-    def _values_equal(left: Any, right: Any) -> bool:
-        if isinstance(left, (ArrayValue, StructValue)) or isinstance(
-                right, (ArrayValue, StructValue)):
-            return left is right
-        if isinstance(left, bool) or isinstance(right, bool):
-            return left is right
-        return left == right
+    _truth = staticmethod(truth_value)
+    _unary_op = staticmethod(unary_op)
+    _binary_op = staticmethod(binary_op)
+    _both_ints = staticmethod(both_ints)
+    _both_numbers = staticmethod(both_numbers)
+    _values_equal = staticmethod(values_equal)
 
 
 def run_program(program: ast.Program, args: Sequence[Any] = (),
                 observer: Optional[ExecutionObserver] = None,
                 seed: int = 20140609,
-                max_ops: int = 200_000_000) -> ExecutionResult:
+                max_ops: int = 200_000_000,
+                engine: Optional[str] = None) -> ExecutionResult:
     """Convenience wrapper: build an interpreter and run ``main(*args)``."""
-    return Interpreter(program, observer, seed, max_ops).run(args)
+    return Interpreter(program, observer, seed, max_ops, engine).run(args)

@@ -56,7 +56,10 @@ class DeferredScheduleInterpreter(Interpreter):
     def __init__(self, program: ast.Program, schedule_seed: int = 1,
                  seed: int = 20140609,
                  max_ops: int = 200_000_000) -> None:
-        super().__init__(program, observer=None, seed=seed, max_ops=max_ops)
+        # This subclass reorders execution by overriding _exec_stmt, so it
+        # must run on the tree engine regardless of the process default.
+        super().__init__(program, observer=None, seed=seed, max_ops=max_ops,
+                         engine="tree")
         self._schedule_rng = DeterministicRng(schedule_seed ^ 0xD1CE)
         self._queues: List[List[_PendingTask]] = [[]]
 

@@ -1,4 +1,9 @@
-"""ESP-bags union-find structure: S/P transitions (Section 4.1)."""
+"""ESP-bags union-find structure: S/P transitions (Section 4.1).
+
+Task keys are ints (the detectors use S-DPST node indices, so the
+union-find is an int-indexed, list-backed forest); finish keys remain
+arbitrary hashable values.
+"""
 
 from repro.races.bags import BagManager, P_BAG, S_BAG
 
@@ -6,84 +11,99 @@ from repro.races.bags import BagManager, P_BAG, S_BAG
 class TestBagTransitions:
     def test_new_task_is_serialized(self):
         bags = BagManager()
-        bags.make_s_bag("t1")
-        assert bags.tag_of("t1") == S_BAG
-        assert not bags.is_parallel("t1")
+        bags.make_s_bag(1)
+        assert bags.tag_of(1) == S_BAG
+        assert not bags.is_parallel(1)
 
     def test_task_end_moves_to_pbag(self):
         bags = BagManager()
         bags.register_finish("f")
-        bags.make_s_bag("child")
-        bags.task_ends("child", "f")
-        assert bags.is_parallel("child")
+        bags.make_s_bag(2)
+        bags.task_ends(2, "f")
+        assert bags.is_parallel(2)
 
     def test_finish_end_serializes(self):
         bags = BagManager()
-        bags.make_s_bag("parent")
+        bags.make_s_bag(0)           # parent
         bags.register_finish("f")
-        bags.make_s_bag("child")
-        bags.task_ends("child", "f")
-        assert bags.is_parallel("child")
-        bags.finish_ends("f", "parent")
-        assert not bags.is_parallel("child")
+        bags.make_s_bag(1)           # child
+        bags.task_ends(1, "f")
+        assert bags.is_parallel(1)
+        bags.finish_ends("f", 0)
+        assert not bags.is_parallel(1)
         # The parent stays serialized too.
-        assert not bags.is_parallel("parent")
+        assert not bags.is_parallel(0)
 
     def test_empty_finish_end_is_noop(self):
         bags = BagManager()
-        bags.make_s_bag("parent")
+        bags.make_s_bag(0)
         bags.register_finish("f")
-        bags.finish_ends("f", "parent")
-        assert bags.tag_of("parent") == S_BAG
+        bags.finish_ends("f", 0)
+        assert bags.tag_of(0) == S_BAG
 
     def test_multiple_children_same_pbag(self):
         bags = BagManager()
         bags.register_finish("f")
-        for child in ("a", "b", "c"):
+        for child in (1, 2, 3):
             bags.make_s_bag(child)
             bags.task_ends(child, "f")
-        assert all(bags.is_parallel(c) for c in ("a", "b", "c"))
-        bags.make_s_bag("owner")
-        bags.finish_ends("f", "owner")
-        assert not any(bags.is_parallel(c) for c in ("a", "b", "c"))
+        assert all(bags.is_parallel(c) for c in (1, 2, 3))
+        bags.make_s_bag(4)           # owner
+        bags.finish_ends("f", 4)
+        assert not any(bags.is_parallel(c) for c in (1, 2, 3))
 
     def test_implicit_finish_never_drains(self):
         bags = BagManager()
         bags.register_finish("F0")
-        bags.make_s_bag("dangling")
-        bags.task_ends("dangling", "F0")
-        assert bags.is_parallel("dangling")
+        bags.make_s_bag(7)
+        bags.task_ends(7, "F0")
+        assert bags.is_parallel(7)
+
+    def test_sparse_task_keys(self):
+        # DPST indices arrive in increasing but non-contiguous order; the
+        # list-backed forest must grow through the gaps.
+        bags = BagManager()
+        bags.register_finish("f")
+        bags.make_s_bag(5)
+        bags.make_s_bag(42)
+        bags.task_ends(42, "f")
+        assert not bags.is_parallel(5)
+        assert bags.is_parallel(42)
+        assert bags.tag_of(5) == S_BAG
+        assert bags.tag_of(42) == P_BAG
 
     def test_nested_finish_composition(self):
         # inner finish joins a task into the middle task's S-bag; when the
         # middle task ends, everything moves to the outer P-bag together.
         bags = BagManager()
-        bags.make_s_bag("root")
+        root, middle, leaf = 0, 1, 2
+        bags.make_s_bag(root)
         bags.register_finish("outer")
-        bags.make_s_bag("middle")
+        bags.make_s_bag(middle)
         bags.register_finish("inner")
-        bags.make_s_bag("leaf")
-        bags.task_ends("leaf", "inner")
-        bags.finish_ends("inner", "middle")
-        assert not bags.is_parallel("leaf")  # joined w.r.t. middle
-        bags.task_ends("middle", "outer")
-        assert bags.is_parallel("leaf")      # middle dangles inside outer
-        assert bags.is_parallel("middle")
-        bags.finish_ends("outer", "root")
-        assert not bags.is_parallel("leaf")
-        assert not bags.is_parallel("middle")
+        bags.make_s_bag(leaf)
+        bags.task_ends(leaf, "inner")
+        bags.finish_ends("inner", middle)
+        assert not bags.is_parallel(leaf)  # joined w.r.t. middle
+        bags.task_ends(middle, "outer")
+        assert bags.is_parallel(leaf)      # middle dangles inside outer
+        assert bags.is_parallel(middle)
+        bags.finish_ends("outer", root)
+        assert not bags.is_parallel(leaf)
+        assert not bags.is_parallel(middle)
 
     def test_task_drained_set_travels_as_one(self):
         bags = BagManager()
-        bags.make_s_bag("t")
+        t, a = 0, 1
+        bags.make_s_bag(t)
         bags.register_finish("f1")
-        bags.make_s_bag("a")
-        bags.task_ends("a", "f1")
-        bags.finish_ends("f1", "t")       # a joins t's S-bag
+        bags.make_s_bag(a)
+        bags.task_ends(a, "f1")
+        bags.finish_ends("f1", t)         # a joins t's S-bag
         bags.register_finish("f2")
-        bags.task_ends("t", "f2")         # whole set becomes parallel
-        assert bags.is_parallel("a")
-        assert bags.is_parallel("t")
+        bags.task_ends(t, "f2")           # whole set becomes parallel
+        assert bags.is_parallel(a)
+        assert bags.is_parallel(t)
 
     def test_union_find_path_compression_consistency(self):
         bags = BagManager()
@@ -94,3 +114,41 @@ class TestBagTransitions:
         roots = {bags._find(i) for i in range(100)}
         assert len(roots) == 1
         assert all(bags.is_parallel(i) for i in range(100))
+
+
+class TestClock:
+    """The S/P transition clock the MRW scan caches key on: it must
+    advance whenever some set's tag can have changed, and stand still
+    otherwise."""
+
+    def test_starts_at_zero_and_counts_transitions(self):
+        bags = BagManager()
+        assert bags.clock == 0
+        bags.make_s_bag(0)
+        bags.register_finish("f")
+        assert bags.clock == 0           # no tag changed yet
+        bags.make_s_bag(1)
+        bags.task_ends(1, "f")           # S -> P
+        assert bags.clock == 1
+        bags.finish_ends("f", 0)         # P -> S
+        assert bags.clock == 2
+
+    def test_empty_finish_does_not_tick(self):
+        bags = BagManager()
+        bags.make_s_bag(0)
+        bags.register_finish("f")
+        bags.finish_ends("f", 0)         # empty P-bag: no tag changed
+        assert bags.clock == 0
+
+    def test_verdicts_stable_between_equal_clocks(self):
+        bags = BagManager()
+        bags.register_finish("f")
+        bags.make_s_bag(0)
+        bags.make_s_bag(1)
+        bags.task_ends(1, "f")
+        before = bags.clock
+        # Queries (with their path compression) never move the clock.
+        for _ in range(5):
+            assert bags.is_parallel(1)
+            assert not bags.is_parallel(0)
+        assert bags.clock == before

@@ -1,0 +1,248 @@
+"""Differential tests: the closure-compiled engine must be observationally
+identical to the tree-walking interpreter.
+
+The compiled engine's contract (DESIGN.md, "Execution engines") is that
+for any program and input it produces the same output lines, final value,
+``ops`` count, and the *same observer event sequence* — so the cost
+model, S-DPST, and every race report are bit-for-bit unchanged.  These
+tests enforce the contract over the whole bench corpus (original and
+finish-stripped variants) and the synthetic student-program corpus.
+"""
+
+import pytest
+
+from repro.bench import all_benchmarks
+from repro.bench.students import GRADING_INPUTS, synthesize_population
+from repro.errors import RuntimeFault, StepLimitExceeded
+from repro.lang import strip_finishes
+from repro.races import detect_races
+from repro.runtime import ExecutionObserver, run_program
+from repro.runtime.interpreter import (
+    ENGINES,
+    get_default_engine,
+    set_default_engine,
+)
+from tests.conftest import build
+
+
+class RecordingObserver(ExecutionObserver):
+    """Records every primitive observer event, with addresses renamed to
+    their first-seen order so runtime object ids never leak into the
+    comparison.  It deliberately does *not* override the fused
+    ``cost_read``/``cost_write`` hooks: their default decomposition into
+    ``add_cost`` + ``read``/``write`` is itself part of the equivalence
+    contract under test.
+    """
+
+    def __init__(self):
+        self.events = []
+        self._addr_names = {}
+
+    def _addr(self, addr):
+        name = self._addr_names.get(addr)
+        if name is None:
+            name = (addr[0], len(self._addr_names))
+            self._addr_names[addr] = name
+        return name
+
+    def enter_async(self, stmt):
+        self.events.append(("enter_async", stmt.nid))
+
+    def exit_async(self):
+        self.events.append(("exit_async",))
+
+    def enter_finish(self, stmt):
+        self.events.append(("enter_finish", stmt.nid))
+
+    def exit_finish(self):
+        self.events.append(("exit_finish",))
+
+    def enter_scope(self, kind, construct_nid, block_nid):
+        self.events.append(("enter_scope", kind, construct_nid, block_nid))
+
+    def exit_scope(self):
+        self.events.append(("exit_scope",))
+
+    def at_statement(self, stmt_nid):
+        self.events.append(("at_statement", stmt_nid))
+
+    def read(self, addr, node):
+        self.events.append(("read", self._addr(addr), node.nid))
+
+    def write(self, addr, node):
+        self.events.append(("write", self._addr(addr), node.nid))
+
+    def add_cost(self, units):
+        self.events.append(("cost", units))
+
+
+def run_both(program_factory, args):
+    """Run a program under both engines with full event recording."""
+    results = {}
+    for engine in ENGINES:
+        observer = RecordingObserver()
+        result = run_program(program_factory(), args, observer=observer,
+                             engine=engine)
+        results[engine] = (result, observer.events)
+    return results["tree"], results["compiled"]
+
+
+def assert_equivalent(program_factory, args, label):
+    (tree_res, tree_events), (comp_res, comp_events) = \
+        run_both(program_factory, args)
+    assert tree_res.output == comp_res.output, label
+    assert tree_res.value == comp_res.value, label
+    assert tree_res.ops == comp_res.ops, label
+    if tree_events != comp_events:
+        for i, (a, b) in enumerate(zip(tree_events, comp_events)):
+            assert a == b, f"{label}: event #{i}: tree={a} compiled={b}"
+        assert len(tree_events) == len(comp_events), label
+    assert tree_events == comp_events, label
+
+
+def race_signature(detection):
+    """Race report as engine-independent data, in report order: step
+    indices come from the S-DPST (identical across engines when the event
+    streams match); array/struct ids are runtime object identities, so
+    they are renamed to first-seen order while indices/field names (the
+    stable coordinates) are kept."""
+    ids = {}
+    sig = []
+    for race in detection.report:
+        addr = race.addr
+        owner = ids.setdefault((addr[0], addr[1]), len(ids))
+        norm = (addr[0], owner) + tuple(addr[2:])
+        sig.append((race.kind, norm, race.source.index, race.sink.index))
+    return sig
+
+
+class TestBenchCorpus:
+    @pytest.mark.parametrize("spec", all_benchmarks(),
+                             ids=lambda spec: spec.name)
+    def test_original_program_equivalent(self, spec):
+        assert_equivalent(spec.parse, spec.test_args, spec.name)
+
+    @pytest.mark.parametrize("spec", all_benchmarks(),
+                             ids=lambda spec: spec.name)
+    def test_stripped_program_equivalent(self, spec):
+        assert_equivalent(lambda: strip_finishes(spec.parse()),
+                          spec.test_args, f"{spec.name} (stripped)")
+
+    @pytest.mark.parametrize("spec", all_benchmarks(),
+                             ids=lambda spec: spec.name)
+    @pytest.mark.parametrize("algorithm", ["srw", "mrw"])
+    def test_race_reports_identical(self, spec, algorithm):
+        reports = {}
+        for engine in ENGINES:
+            detection = detect_races(strip_finishes(spec.parse()),
+                                     spec.test_args, algorithm=algorithm,
+                                     engine=engine)
+            reports[engine] = (race_signature(detection),
+                               detection.execution.ops,
+                               detection.detector.monitored_accesses)
+        assert reports["tree"] == reports["compiled"], \
+            f"{spec.name} [{algorithm}]"
+
+
+class TestStudentCorpus:
+    @pytest.mark.parametrize(
+        "submission", synthesize_population(),
+        ids=lambda sub: f"{sub.expected.name.lower()}-{sub.description[:30]}")
+    def test_submission_equivalent(self, submission):
+        assert_equivalent(submission.parse, GRADING_INPUTS[0],
+                          submission.description)
+
+
+class TestErrorParity:
+    FAULTY = """
+    var a = 0;
+    def main(n) {
+        a = 1 / (n - n);
+    }
+    """
+
+    def test_runtime_fault_matches(self):
+        errors = {}
+        for engine in ENGINES:
+            with pytest.raises(RuntimeFault) as excinfo:
+                run_program(build(self.FAULTY), (3,), engine=engine)
+            errors[engine] = str(excinfo.value)
+        assert errors["tree"] == errors["compiled"]
+
+    def test_step_limit_parity(self):
+        source = """
+        def main() {
+            var i = 0;
+            while (true) { i = i + 1; }
+        }
+        """
+        ops = {}
+        for engine in ENGINES:
+            with pytest.raises(StepLimitExceeded):
+                run_program(build(source), (), max_ops=5000, engine=engine)
+            ops[engine] = True
+        assert ops["tree"] and ops["compiled"]
+
+
+class TestLimits:
+    """Regression tests for the two interpreter-limit bugs fixed in PR 2."""
+
+    LOOP = """
+    def main() {
+        var i = 0;
+        while (true) { i = i + 1; }
+    }
+    """
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_recursion_limit_restored_after_run(self, engine):
+        import sys
+        before = sys.getrecursionlimit()
+        run_program(build("def main() { print(1); }"), (), engine=engine)
+        assert sys.getrecursionlimit() == before
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_recursion_limit_restored_after_fault(self, engine):
+        import sys
+        before = sys.getrecursionlimit()
+        with pytest.raises(RuntimeFault):
+            run_program(build("def main() { print(1 / 0); }"), (),
+                        engine=engine)
+        assert sys.getrecursionlimit() == before
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_small_step_limit_stops_near_limit(self, engine):
+        # max_ops far below the old 4096-op check interval: the run must
+        # stop at (not thousands of ops past) the cap.
+        from repro.runtime import Interpreter
+        interp = Interpreter(build(self.LOOP), max_ops=100, engine=engine)
+        with pytest.raises(StepLimitExceeded):
+            interp.run(())
+        assert 100 <= interp.ops <= 110
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_limit_not_exceeded_by_interval(self, engine):
+        from repro.runtime import Interpreter
+        interp = Interpreter(build(self.LOOP), max_ops=5000, engine=engine)
+        with pytest.raises(StepLimitExceeded):
+            interp.run(())
+        assert 5000 <= interp.ops <= 5010
+
+
+class TestEngineSelection:
+    def test_default_engine_is_compiled(self):
+        assert get_default_engine() == "compiled"
+
+    def test_set_default_engine_round_trip(self):
+        previous = get_default_engine()
+        try:
+            set_default_engine("tree")
+            assert get_default_engine() == "tree"
+        finally:
+            set_default_engine(previous)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            set_default_engine("jit")
+        with pytest.raises(ValueError):
+            run_program(build("def main() {}"), (), engine="jit")

@@ -1,28 +1,40 @@
 #!/usr/bin/env python
-"""Engine benchmark: the Table-1 suite under both execution engines.
+"""Engine + repair-loop benchmark over the Table-1 suite.
 
-Measures, for every benchmark program, (a) a plain uninstrumented run
-(``execute`` — the Table-3 baseline) and (b) full race detection
-(``detect`` — execution + S-DPST construction + ESP-bags), under both
-the tree-walking interpreter and the closure-compiled engine.
+Phases, per benchmark program:
+
+* ``execute`` — a plain uninstrumented run (the Table-3 baseline),
+  under both execution engines.
+* ``detect``  — full race detection (execution + S-DPST construction +
+  ESP-bags) on the finish-stripped variant, under both engines.
+* ``repair``  — the end-to-end repair loop (Table-2 style), with the
+  trace-replay fast path on vs off.  Replay records iteration 0 and
+  re-detects iterations 1..k and the confirming run from the trace
+  instead of re-executing; both modes must produce byte-identical
+  repaired sources (the script exits nonzero if they ever differ).
+  Besides the Table-1 programs (which converge in one iteration, so
+  only the confirming run replays), the phase includes synthetic
+  ``stress-*`` workloads whose nested unsynchronized asyncs force the
+  engine through 2-3 repair iterations — the case replay exists for.
 
 Methodology: every single timing runs in a *fresh* Python process (the
 script re-invokes itself), so no measurement inherits allocator arenas,
 GC history or interned objects from a previous one — same-process
 back-to-back timings of allocation-heavy runs cross-contaminate by
-10-20% depending on ordering.  Each (program, phase, engine, detector)
-cell reports the best of ``--trials`` runs.
+10-20% depending on ordering.  Each cell reports the best of
+``--trials`` runs.
 
 Usage::
 
-    PYTHONPATH=src python scripts/bench.py               # full, writes BENCH_pr2.json
+    PYTHONPATH=src python scripts/bench.py               # full, writes BENCH_pr3.json
     PYTHONPATH=src python scripts/bench.py --quick       # tiny inputs, 1 trial, stdout only
-    PYTHONPATH=src python scripts/bench.py --programs crypt fannkuch
+    PYTHONPATH=src python scripts/bench.py --phases repair --programs crypt stress-nested
 """
 
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
 import os
 import statistics
@@ -36,10 +48,125 @@ from repro.bench.suite import BENCHMARK_ORDER, get_benchmark  # noqa: E402
 
 DETECTORS = ("mrw", "srw")
 ENGINES = ("tree", "compiled")
+PHASES = ("execute", "detect", "repair")
+
+# ----------------------------------------------------------------------
+# Multi-iteration repair workloads.
+#
+# Every Table-1 program converges in a single repair iteration: all its
+# races share one NS-LCA generation, so one round of finish insertion
+# fixes them.  These synthetic programs exercise the engine's deferral
+# path instead: the placements proposed for the *inner* async nest
+# inside the outer edit of the same round and are deferred to the next
+# iteration (engine._filter_nested_edits), so each nesting level costs
+# one full re-detection — the workload trace replay is designed for.
+# The sweeps touch disjoint array regions (monitored accesses that
+# stress the detector without adding races) with expression-heavy
+# statements (interpreter work that replay skips).
+# ----------------------------------------------------------------------
+
+_SWEEP = """
+def sweep(a, lo, hi) {
+    var s = 1;
+    var t = 1;
+    for (var i = lo; i < hi; i = i + 1) {
+        s = s + a[i] * 3 + a[i] * 5 + a[i] * 7 + a[i] * 11 - a[i] * 2;
+        t = t * 3 + s * 7 - t / 2 + s * 5 - t * 9 + s * 13 - t * 4 + s * 2;
+        t = t - s * 6 + t / 3 - s * 8 + t * 5 - s * 10 + t / 7 - s * 12;
+        a[i] = s + t * 2 + a[i] + a[i] * 4 + a[i] * 6;
+        s = s - a[i] * 2 + t * 9 - a[i] * 5 + s / 3 + a[i] * 3 - t * 11;
+    }
+}
+"""
+
+STRESS_PROGRAMS = {
+    # 2 repair iterations: the inner async's finish is deferred once.
+    "stress-nested": (_SWEEP + """
+def main(n) {
+    var a = new int[3 * n];
+    var x = 0;
+    var y = 0;
+    async {
+        async {
+            sweep(a, 0, n);
+            y = 1;
+        }
+        sweep(a, n, 2 * n);
+        y = y + 1;
+        x = 5;
+    }
+    sweep(a, 2 * n, 3 * n);
+    x = x + 1;
+}
+""", {"test": (40,), "repair": (4000,)}),
+    # 3 repair iterations: two nesting levels defer in turn.
+    "stress-chain": (_SWEEP + """
+def main(n) {
+    var a = new int[4 * n];
+    var x = 0;
+    var y = 0;
+    var z = 0;
+    async {
+        async {
+            async {
+                sweep(a, 0, n);
+                z = 1;
+            }
+            sweep(a, n, 2 * n);
+            z = z + 1;
+            y = 5;
+        }
+        sweep(a, 2 * n, 3 * n);
+        y = y + 1;
+        x = 5;
+    }
+    sweep(a, 3 * n, 4 * n);
+    x = x + 1;
+}
+""", {"test": (40,), "repair": (4000,)}),
+}
+
+
+def _load_repair_workload(name: str, args_kind: str):
+    """The (finish-stripped) program and input the repair phase measures."""
+    from repro.lang import parse, strip_finishes
+
+    if name in STRESS_PROGRAMS:
+        source, inputs = STRESS_PROGRAMS[name]
+        return parse(source, source_name=name), inputs[args_kind]
+    spec = get_benchmark(name)
+    args = spec.test_args if args_kind == "test" else spec.repair_args
+    return strip_finishes(spec.parse()), args
 
 
 def _measure_child(options: argparse.Namespace) -> int:
     """Run one measurement in this (fresh) process; print a JSON record."""
+    if options.phase == "repair":
+        from repro.repair import repair_program
+
+        program, args = _load_repair_workload(options.program, options.args)
+        replay = options.replay == "on"
+        start = time.perf_counter()
+        result = repair_program(program, args, algorithm=options.detector,
+                                reuse_trace=replay)
+        elapsed = time.perf_counter() - start
+        source = result.repaired_source
+        record = {
+            "wall_time_s": elapsed,
+            "repair_time_s": result.repair_time_s,
+            "detection_time_s": result.detection_time_s,
+            "iterations": len(result.iterations),
+            "races": result.total_races_found,
+            "finishes_inserted": result.inserted_finish_count,
+            "converged": result.converged,
+            "replayed_detections": sum(
+                it.detection.replayed for it in result.iterations)
+            + result.final_detection.replayed,
+            "repaired_sha256": hashlib.sha256(
+                source.encode("utf-8")).hexdigest(),
+        }
+        print(json.dumps(record))
+        return 0
     spec = get_benchmark(options.program)
     args = spec.test_args if options.args == "test" else spec.repair_args
     program = spec.parse()
@@ -71,23 +198,31 @@ def _measure_child(options: argparse.Namespace) -> int:
 
 
 def _run_cell(program: str, phase: str, engine: str, detector: str,
-              args_kind: str, trials: int) -> dict:
+              args_kind: str, trials: int, replay: str = "off") -> dict:
     """Best-of-N fresh-process runs of one benchmark cell."""
     cmd = [sys.executable, os.path.abspath(__file__), "--_measure",
            "--program", program, "--phase", phase, "--engine", engine,
-           "--detector", detector, "--args", args_kind]
+           "--detector", detector, "--args", args_kind, "--replay", replay]
+    # Repair cells are ranked by the acceptance metric (the repair-loop
+    # time after the initial detection); everything else by wall clock.
+    metric = "repair_time_s" if phase == "repair" else "wall_time_s"
     best = None
     for _ in range(trials):
         out = subprocess.run(cmd, capture_output=True, text=True, check=True)
         record = json.loads(out.stdout.strip().splitlines()[-1])
-        if best is None or record["wall_time_s"] < best["wall_time_s"]:
+        if best is None or record[metric] < best[metric]:
             best = record
     row = {"program": program, "phase": phase, "engine": engine,
-           "detector": detector if phase == "detect" else None,
+           "detector": detector if phase != "execute" else None,
            "args": args_kind}
+    if phase == "repair":
+        row["replay"] = replay == "on"
+        best["repair_time_s"] = round(best["repair_time_s"], 4)
+        best["detection_time_s"] = round(best["detection_time_s"], 4)
     row.update(best)
     wall = best["wall_time_s"]
-    row["ops_per_sec"] = round(best["ops"] / wall) if wall > 0 else None
+    if "ops" in best:
+        row["ops_per_sec"] = round(best["ops"] / wall) if wall > 0 else None
     row["wall_time_s"] = round(wall, 4)
     return row
 
@@ -96,6 +231,8 @@ def _speedup_summary(rows: list) -> dict:
     """Median tree/compiled speedup per (phase, detector) configuration."""
     cells = {}
     for row in rows:
+        if row["phase"] == "repair":
+            continue
         key = (row["program"], row["phase"], row["detector"])
         cells.setdefault(key, {})[row["engine"]] = row["wall_time_s"]
     ratios = {}
@@ -117,6 +254,55 @@ def _speedup_summary(rows: list) -> dict:
     return summary
 
 
+def _repair_summary(rows: list) -> dict:
+    """Replay-off / replay-on comparison per (program, detector).
+
+    Returns the summary dict and records two invariants the driver
+    enforces: repaired sources must match between modes, and every
+    multi-iteration workload must speed up.
+    """
+    cells = {}
+    for row in rows:
+        if row["phase"] != "repair":
+            continue
+        key = (row["program"], row["detector"])
+        cells.setdefault(key, {})["on" if row["replay"] else "off"] = row
+    per_detector = {}
+    for (program, detector), modes in sorted(cells.items()):
+        if "on" not in modes or "off" not in modes:
+            continue
+        on, off = modes["on"], modes["off"]
+        entry = {
+            "iterations": on["iterations"],
+            "repair_time_off_s": off["repair_time_s"],
+            "repair_time_on_s": on["repair_time_s"],
+            "repair_speedup": round(
+                off["repair_time_s"] / on["repair_time_s"], 2)
+            if on["repair_time_s"] > 0 else None,
+            "wall_speedup": round(
+                off["wall_time_s"] / on["wall_time_s"], 2)
+            if on["wall_time_s"] > 0 else None,
+            "repaired_source_matches":
+                on["repaired_sha256"] == off["repaired_sha256"],
+        }
+        per_detector.setdefault(detector, {})[program] = entry
+    summary = {}
+    for detector, per_program in per_detector.items():
+        speedups = [e["repair_speedup"] for e in per_program.values()
+                    if e["repair_speedup"] is not None]
+        multi = {p: e["repair_speedup"] for p, e in per_program.items()
+                 if e["iterations"] >= 2 and e["repair_speedup"] is not None}
+        summary[f"repair_{detector}"] = {
+            "per_program": per_program,
+            "median_repair_speedup": round(statistics.median(speedups), 2)
+            if speedups else None,
+            "multi_iteration_repair_speedup": multi,
+            "all_sources_match": all(
+                e["repaired_source_matches"] for e in per_program.values()),
+        }
+    return summary
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
@@ -126,11 +312,18 @@ def main(argv=None) -> int:
                         help="fresh-process runs per cell (default: 3, "
                              "or 1 with --quick)")
     parser.add_argument("--programs", nargs="*", default=None,
-                        help="subset of benchmark names (default: all)")
+                        help="subset of benchmark names (default: all; "
+                             "stress-* names select repair workloads)")
     parser.add_argument("--detectors", nargs="*", default=list(DETECTORS),
                         choices=DETECTORS, help="detectors to measure")
+    parser.add_argument("--phases", nargs="*", default=list(PHASES),
+                        choices=PHASES, help="phases to measure")
+    parser.add_argument("--repair-detectors", nargs="*", default=["mrw"],
+                        choices=DETECTORS,
+                        help="detectors for the repair phase (default: mrw, "
+                             "the paper's Table-2 configuration)")
     parser.add_argument("--output", default=None,
-                        help="output JSON path (default: BENCH_pr2.json "
+                        help="output JSON path (default: BENCH_pr3.json "
                              "next to the repo root; suppressed by --quick)")
     # Internal: one measurement in a fresh process.
     parser.add_argument("--_measure", action="store_true",
@@ -140,6 +333,7 @@ def main(argv=None) -> int:
     parser.add_argument("--engine", help=argparse.SUPPRESS)
     parser.add_argument("--detector", help=argparse.SUPPRESS)
     parser.add_argument("--args", default="repair", help=argparse.SUPPRESS)
+    parser.add_argument("--replay", default="off", help=argparse.SUPPRESS)
     options = parser.parse_args(argv)
 
     if options._measure:
@@ -147,11 +341,17 @@ def main(argv=None) -> int:
 
     trials = options.trials or (1 if options.quick else 3)
     args_kind = "test" if options.quick else "repair"
-    programs = options.programs or list(BENCHMARK_ORDER)
+    selected = options.programs
+    programs = [p for p in BENCHMARK_ORDER
+                if selected is None or p in selected]
+    repair_programs = programs + [p for p in STRESS_PROGRAMS
+                                  if selected is None or p in selected]
 
     rows = []
     for program in programs:
         for phase in ("execute", "detect"):
+            if phase not in options.phases:
+                continue
             detectors = options.detectors if phase == "detect" else ["mrw"]
             for detector in detectors:
                 for engine in ENGINES:
@@ -164,32 +364,60 @@ def main(argv=None) -> int:
                           f"{row['wall_time_s'] * 1000:9.1f} ms  "
                           f"{row['ops_per_sec'] or 0:>12,} ops/s",
                           file=sys.stderr)
+    if "repair" in options.phases:
+        for program in repair_programs:
+            for detector in options.repair_detectors:
+                for replay in ("off", "on"):
+                    row = _run_cell(program, "repair", "compiled", detector,
+                                    args_kind, trials, replay=replay)
+                    rows.append(row)
+                    print(f"{program:14s} repair[{detector}] "
+                          f"replay={replay:3s} "
+                          f"{row['wall_time_s'] * 1000:9.1f} ms wall  "
+                          f"{row['repair_time_s'] * 1000:9.1f} ms repair  "
+                          f"{row['iterations']} iter(s)",
+                          file=sys.stderr)
 
     summary = _speedup_summary(rows)
+    summary.update(_repair_summary(rows))
     document = {
         "meta": {
-            "suite": "Table 1 (paper benchmark programs); execute = "
-                     "original program, detect = finish-stripped (racy) "
+            "suite": "Table 1 (paper benchmark programs) plus stress-* "
+                     "multi-iteration repair workloads; execute = original "
+                     "program, detect/repair = finish-stripped (racy) "
                      "variant as in the repair loop",
             "inputs": "test_args" if options.quick else
                       "repair_args (paper Table 1 repair sizes)",
             "trials": trials,
             "methodology": "best-of-N, one fresh Python process per "
-                           "measurement",
+                           "measurement; repair cells ranked by "
+                           "repair_time_s (the post-detection repair loop)",
             "engines": list(ENGINES),
             "python": sys.version.split()[0],
         },
         "rows": rows,
         "summary": summary,
     }
+    failures = []
     for config, data in sorted(summary.items()):
-        print(f"median speedup (compiled vs tree) {config}: "
-              f"{data['median_speedup']}x", file=sys.stderr)
+        if "median_speedup" in data:
+            print(f"median speedup (compiled vs tree) {config}: "
+                  f"{data['median_speedup']}x", file=sys.stderr)
+        if config.startswith("repair_"):
+            print(f"median repair speedup (replay vs re-execution) "
+                  f"{config}: {data['median_repair_speedup']}x; "
+                  f"multi-iteration: "
+                  f"{data['multi_iteration_repair_speedup']}",
+                  file=sys.stderr)
+            if not data["all_sources_match"]:
+                failures.append(
+                    f"{config}: replay and re-execution repaired "
+                    "sources differ")
 
     output = options.output
     if output is None and not options.quick:
         output = os.path.join(os.path.dirname(__file__), "..",
-                              "BENCH_pr2.json")
+                              "BENCH_pr3.json")
     if output:
         with open(output, "w", encoding="utf-8") as handle:
             json.dump(document, handle, indent=2, sort_keys=True)
@@ -198,7 +426,9 @@ def main(argv=None) -> int:
     else:
         json.dump(document, sys.stdout, indent=2, sort_keys=True)
         print()
-    return 0
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

@@ -70,13 +70,16 @@ def _cmd_repair(options: argparse.Namespace) -> int:
         program = strip_finishes(program)
     args = [_parse_arg(a) for a in options.arg]
     result = repair_program(program, args, algorithm=options.algorithm,
-                            max_iterations=options.max_iterations)
+                            max_iterations=options.max_iterations,
+                            reuse_trace=options.replay)
     print(result.summary(), file=sys.stderr)
     for iteration in result.iterations:
+        how = "replayed" if iteration.detection.replayed else "executed"
         print(f"  iteration {iteration.index}: "
               f"{iteration.race_count} race(s), "
               f"{len(iteration.edits)} finish placement(s), "
-              f"detection {iteration.detection.elapsed_s * 1000:.1f} ms, "
+              f"detection {iteration.detection.elapsed_s * 1000:.1f} ms "
+              f"({how}), "
               f"placement {iteration.placement_time_s * 1000:.1f} ms",
               file=sys.stderr)
     source = result.repaired_source
@@ -206,6 +209,14 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(p_repair)
     p_repair.add_argument("-o", "--output", help="write repaired source here")
     p_repair.add_argument("--max-iterations", type=int, default=20)
+    p_repair.add_argument("--replay", dest="replay", action="store_true",
+                          default=None,
+                          help="replay the recorded iteration-0 trace for "
+                               "re-detections (the default; REPRO_REPLAY=0 "
+                               "flips the process default)")
+    p_repair.add_argument("--no-replay", dest="replay", action="store_false",
+                          help="re-execute the program for every "
+                               "re-detection instead of replaying the trace")
     p_repair.set_defaults(func=_cmd_repair)
 
     p_measure = sub.add_parser(

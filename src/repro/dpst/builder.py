@@ -69,6 +69,16 @@ class DpstBuilder(ExecutionObserver):
     # Construction helpers
     # ------------------------------------------------------------------
 
+    @property
+    def current_task(self) -> DpstNode:
+        """The innermost executing task (an async, or the root main task).
+
+        Exposed for trace replay (:mod:`repro.races.replay`), which
+        drives the builder's structural events but calls the detector
+        directly for the per-access stream.
+        """
+        return self._task_stack[-1]
+
     def _new_node(self, kind: str, **kwargs) -> DpstNode:
         self._counter += 1
         parent = self._stack[-1]

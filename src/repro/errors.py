@@ -51,6 +51,14 @@ class StepLimitExceeded(RuntimeFault):
     """Raised when execution exceeds the configured step budget."""
 
 
+class ReplayError(ReproError):
+    """Raised when a recorded trace cannot be replayed for a program.
+
+    Callers treat this as a soft failure: the repair engine falls back to
+    plain re-execution, which is always available.
+    """
+
+
 class RepairError(ReproError):
     """Raised when the repair engine cannot make progress.
 

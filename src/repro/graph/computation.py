@@ -33,27 +33,52 @@ def span_parts(node: DpstNode,
     """
     if cache is None:
         cache = {}
-    cached = cache.get(node.index)
-    if cached is not None:
-        return cached
-    if node.kind == STEP:
-        result = (node.cost, node.cost)
-    else:
+    root_cached = cache.get(node.index)
+    if root_cached is not None:
+        return root_cached
+    # Explicit post-order stack: an S-DPST is as deep as the program's
+    # dynamic nesting (recursive benchmarks reach tens of thousands of
+    # levels), which Python recursion cannot cover even with a raised
+    # limit.  Each entry is (node, child cursor).
+    stack = [[node, 0]]
+    while stack:
+        top = stack[-1]
+        current, cursor = top
+        if current.kind == STEP:
+            cache[current.index] = (current.cost, current.cost)
+            stack.pop()
+            continue
+        children = current.children
+        advanced = False
+        count = len(children)
+        while cursor < count:
+            child = children[cursor]
+            cursor += 1
+            if child.index not in cache:
+                top[1] = cursor
+                stack.append([child, 0])
+                advanced = True
+                break
+        if advanced:
+            continue
         clock = 0
         completion = 0
-        for child in node.children:
-            advance, child_completion = span_parts(child, cache)
-            completion = max(completion, clock + child_completion)
+        for child in children:
+            advance, child_completion = cache[child.index]
+            if clock + child_completion > completion:
+                completion = clock + child_completion
             clock += advance
-        completion = max(completion, clock)
-        if node.kind == ASYNC:
+        if clock > completion:
+            completion = clock
+        if current.kind == ASYNC:
             result = (0, completion)
-        elif node.kind == FINISH:
+        elif current.kind == FINISH:
             result = (completion, completion)
         else:  # scope (and the root main task behaves like a scope here)
             result = (clock, completion)
-    cache[node.index] = result
-    return result
+        cache[current.index] = result
+        stack.pop()
+    return cache[node.index]
 
 
 def subtree_completion(node: DpstNode, cache=None) -> int:
@@ -89,7 +114,10 @@ class ComputationGraph:
         idx = step.index
         self.order.append(idx)
         self.cost[idx] = step.cost
-        self.preds[idx] = sorted(preds)
+        # Predecessor order is irrelevant to every consumer (longest-path
+        # scans and the scheduler take maxima over the list), so skip the
+        # per-node sort the original build paid.
+        self.preds[idx] = list(preds)
         self.succs.setdefault(idx, [])
         for p in preds:
             self.succs.setdefault(p, []).append(idx)
@@ -141,38 +169,40 @@ class ComputationGraph:
         """T1: total cost over all steps."""
         return sum(self.cost.values())
 
-    def span(self) -> int:
-        """T-infinity: the critical path length (Definition 1)."""
-        finish_at: Dict[int, int] = {}
-        longest = 0
-        for idx in self.order:
-            start = 0
-            for p in self.preds[idx]:
-                t = finish_at[p]
-                if t > start:
-                    start = t
-            finish_at[idx] = start + self.cost[idx]
-            if finish_at[idx] > longest:
-                longest = finish_at[idx]
-        return longest
-
-    def critical_path(self) -> List[int]:
-        """Step indices along one longest path, in execution order."""
+    def _longest_path_scan(self) -> Tuple[int, Dict[int, int], int]:
+        """One forward pass over the DAG shared by :meth:`span` and
+        :meth:`critical_path`: returns ``(longest, best_pred, last)``
+        where ``best_pred`` chains each node to the predecessor that
+        determined its start time."""
         finish_at: Dict[int, int] = {}
         best_pred: Dict[int, int] = {}
+        preds = self.preds
+        cost = self.cost
         last = None
-        longest = -1
+        longest = 0
         for idx in self.order:
             start, chosen = 0, None
-            for p in self.preds[idx]:
+            for p in preds[idx]:
                 t = finish_at[p]
                 if t > start:
                     start, chosen = t, p
-            finish_at[idx] = start + self.cost[idx]
+            t = start + cost[idx]
+            finish_at[idx] = t
             if chosen is not None:
                 best_pred[idx] = chosen
-            if finish_at[idx] > longest:
-                longest, last = finish_at[idx], idx
+            if t > longest or last is None:
+                longest, last = t, idx
+        return longest, best_pred, last
+
+    def span(self) -> int:
+        """T-infinity: the critical path length (Definition 1)."""
+        return self._longest_path_scan()[0] if self.order else 0
+
+    def critical_path(self) -> List[int]:
+        """Step indices along one longest path, in execution order."""
+        if not self.order:
+            return []
+        _, best_pred, last = self._longest_path_scan()
         path: List[int] = []
         while last is not None:
             path.append(last)

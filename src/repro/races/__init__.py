@@ -9,6 +9,7 @@ from .esp import (
     make_detector,
 )
 from .oracle import OracleDetector
+from .replay import replay_detection
 from .vectorclock import VectorClockDetector
 from .report import DataRace, RaceReport, addr_to_str, merge_reports
 
@@ -28,4 +29,5 @@ __all__ = [
     "VectorClockDetector",
     "DetectionResult",
     "detect_races",
+    "replay_detection",
 ]

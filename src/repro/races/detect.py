@@ -24,7 +24,7 @@ class DetectionResult:
 
     def __init__(self, execution: ExecutionResult, dpst: Dpst,
                  report: RaceReport, detector: DetectorBase,
-                 elapsed_s: float) -> None:
+                 elapsed_s: float, trace=None, replayed: bool = False) -> None:
         self.execution = execution
         self.dpst = dpst
         self.report = report
@@ -32,6 +32,11 @@ class DetectionResult:
         #: wall-clock seconds for instrumented execution + detection +
         #: S-DPST construction (the Table 2 "Data Race Detection Time").
         self.elapsed_s = elapsed_s
+        #: the :class:`~repro.runtime.recorder.ExecutionTrace` recorded
+        #: during the run (``record_trace=True`` only).
+        self.trace = trace
+        #: True when this result came from trace replay, not execution.
+        self.replayed = replayed
 
     @property
     def race_count(self) -> int:
@@ -51,7 +56,8 @@ def detect_races(program: ast.Program, args: Sequence[Any] = (),
                  detector: Optional[EspBagsDetector] = None,
                  seed: int = 20140609,
                  max_ops: int = 200_000_000,
-                 engine: Optional[str] = None) -> DetectionResult:
+                 engine: Optional[str] = None,
+                 record_trace: bool = False) -> DetectionResult:
     """Run ``main(*args)`` sequentially and report all data races.
 
     ``algorithm`` selects ``"mrw"`` (default, complete in one run) or
@@ -59,13 +65,23 @@ def detect_races(program: ast.Program, args: Sequence[Any] = (),
     instead pass a pre-built ``detector`` (e.g. the MHP oracle).
     ``engine`` picks the execution engine (``"tree"``/``"compiled"``);
     ``None`` uses the process default — both engines produce identical
-    race reports.
+    race reports.  With ``record_trace=True`` the run additionally
+    records an execution trace (``result.trace``) that
+    :func:`~repro.races.replay.replay_detection` can re-detect from after
+    finish insertions, without re-executing the program.
     """
     if detector is None:
         detector = make_detector(algorithm)
     start = time.perf_counter()
     builder = DpstBuilder(detector)
-    interp = Interpreter(program, builder, seed=seed, max_ops=max_ops,
+    recorder = None
+    observer = builder
+    if record_trace:
+        from ..runtime.recorder import TraceRecorder
+
+        recorder = TraceRecorder(builder)
+        observer = recorder
+    interp = Interpreter(program, observer, seed=seed, max_ops=max_ops,
                          engine=engine)
     # The run allocates large, long-lived graphs (S-DPST nodes, shadow
     # entries) at a steady rate; with the cyclic collector enabled every
@@ -88,5 +104,12 @@ def detect_races(program: ast.Program, args: Sequence[Any] = (),
         report = detector.compute_report()
     else:  # pragma: no cover - defensive
         report = RaceReport([])
+    trace = None
+    if recorder is not None:
+        trace = recorder.trace()
+        trace.output = list(execution.output)
+        trace.ops = execution.ops
+        trace.value = execution.value
     elapsed = time.perf_counter() - start
-    return DetectionResult(execution, dpst, report, detector, elapsed)
+    return DetectionResult(execution, dpst, report, detector, elapsed,
+                           trace=trace)

@@ -12,19 +12,26 @@ One iteration:
    static context, and splice synthetic ``finish`` statements into the
    program (Section 6).
 
-The engine then re-executes and repeats until the input is race-free.
-Re-execution subsumes the paper's incremental S-DPST updates (steps
-3(e)/3(f)): it is strictly more conservative and keeps every iteration's
-placements computed against ground truth.
+The engine then re-detects and repeats until the input is race-free.  By
+default the re-detections *replay* the iteration-0 execution trace
+(``reuse_trace=True``): finish insertion preserves serial-elision
+semantics, so the recorded access stream is still exact for the edited
+program and only the S-DPST / ESP-bags pass needs to re-run — the paper's
+step 3(e)/3(f) incremental-update role, realized as trace replay (see
+:mod:`repro.races.replay`).  When replay is unavailable (``REPRO_REPLAY=0``,
+an unsupported detector, or a trace/program mismatch) the engine falls
+back to full re-execution, which keeps every iteration's placements
+computed against ground truth.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..dpst.nodes import DpstNode
-from ..errors import RepairError
+from ..errors import RepairError, ReplayError
 from ..lang import ast, pretty
 from ..lang.transform import (
     clone_program,
@@ -38,6 +45,17 @@ from ..races.report import RaceReport
 from .dependence import build_dependence_graph, group_races_by_nslca
 from .insertion import InsertionFinder, InsertionPoint, build_scope_table
 from .placement import solve_placement
+
+
+def replay_enabled_default() -> bool:
+    """The process-wide replay default: on unless ``REPRO_REPLAY`` says no.
+
+    ``REPRO_REPLAY=0`` (or ``false``/``off``/``no``) forces every
+    re-detection back to full re-execution; anything else — including
+    unset — leaves the trace-replay fast path on.
+    """
+    value = os.environ.get("REPRO_REPLAY", "").strip().lower()
+    return value not in ("0", "false", "off", "no")
 
 
 class NslcaPlacement:
@@ -129,7 +147,8 @@ class RepairEngine:
 
     def __init__(self, algorithm: str = "mrw", max_iterations: int = 20,
                  seed: int = 20140609, max_ops: int = 200_000_000,
-                 trace_roundtrip: bool = True) -> None:
+                 trace_roundtrip: bool = True,
+                 reuse_trace: Optional[bool] = None) -> None:
         if max_iterations < 1:
             raise ValueError("max_iterations must be >= 1")
         self.algorithm = algorithm
@@ -139,6 +158,12 @@ class RepairEngine:
         #: serialize + reparse the race trace each iteration, mirroring the
         #: artifact's trace-file pipeline (and its cost profile).
         self.trace_roundtrip = trace_roundtrip
+        if reuse_trace is None:
+            reuse_trace = replay_enabled_default()
+        #: record the iteration-0 execution and replay it for every later
+        #: re-detection instead of re-executing (only the ESP-bags
+        #: detectors support replay; anything else re-executes).
+        self.reuse_trace = bool(reuse_trace) and algorithm in ("mrw", "srw")
 
     # ------------------------------------------------------------------
 
@@ -149,9 +174,9 @@ class RepairEngine:
         iterations: List[RepairIteration] = []
         previous_pairs: Optional[int] = None
         stalled = 0
+        trace = None
         for iteration in range(self.max_iterations):
-            detection = detect_races(work, args, algorithm=self.algorithm,
-                                     seed=self.seed, max_ops=self.max_ops)
+            detection, trace = self._detect(work, args, trace)
             if detection.report.is_race_free:
                 return RepairResult(program, work, iterations, detection,
                                     converged=True)
@@ -179,10 +204,38 @@ class RepairEngine:
             elapsed = time.perf_counter() - start
             iterations.append(RepairIteration(
                 iteration, detection, placements, edits, elapsed))
-        final = detect_races(work, args, algorithm=self.algorithm,
-                             seed=self.seed, max_ops=self.max_ops)
+        final, trace = self._detect(work, args, trace)
         return RepairResult(program, work, iterations, final,
                             converged=final.report.is_race_free)
+
+    # ------------------------------------------------------------------
+    # Phase 1: detection (recorded run, then trace replays)
+    # ------------------------------------------------------------------
+
+    def _detect(self, work: ast.Program, args: Sequence[Any],
+                trace) -> Tuple[DetectionResult, Any]:
+        """One detection pass: replay the recorded trace when available,
+        re-execute (recording on the first pass) otherwise.
+
+        Returns ``(detection, trace)`` where ``trace`` is ``None`` when
+        replay is off or has been abandoned after a
+        :class:`~repro.errors.ReplayError` fallback.
+        """
+        if trace is not None:
+            from ..races.replay import replay_detection
+
+            try:
+                return replay_detection(trace, work,
+                                        algorithm=self.algorithm), trace
+            except ReplayError:
+                # Fall back to re-execution; that run records a fresh
+                # trace of the current program, so replay resumes from a
+                # valid baseline on the next pass.
+                trace = None
+        detection = detect_races(work, args, algorithm=self.algorithm,
+                                 seed=self.seed, max_ops=self.max_ops,
+                                 record_trace=self.reuse_trace)
+        return detection, detection.trace
 
     # ------------------------------------------------------------------
     # Phase 2 + 3: placements
@@ -429,14 +482,18 @@ def repair_for_inputs(program: ast.Program, inputs: Sequence[Sequence[Any]],
 def repair_program(program: ast.Program, args: Sequence[Any] = (),
                    algorithm: str = "mrw", max_iterations: int = 20,
                    seed: int = 20140609, max_ops: int = 200_000_000,
-                   trace_roundtrip: bool = True) -> RepairResult:
+                   trace_roundtrip: bool = True,
+                   reuse_trace: Optional[bool] = None) -> RepairResult:
     """One-call repair: returns a race-free (for ``args``) program copy.
 
-    Raises :class:`~repro.errors.RepairError` when no finish insertion can
+    ``reuse_trace`` selects trace replay for re-detections (``None`` =
+    the ``REPRO_REPLAY`` process default, which is on).  Raises
+    :class:`~repro.errors.RepairError` when no finish insertion can
     repair the program (e.g. the race is between two halves of one loop
     iteration range that no lexical finish can separate).
     """
     engine = RepairEngine(algorithm=algorithm, max_iterations=max_iterations,
                           seed=seed, max_ops=max_ops,
-                          trace_roundtrip=trace_roundtrip)
+                          trace_roundtrip=trace_roundtrip,
+                          reuse_trace=reuse_trace)
     return engine.repair(program, args)

@@ -53,7 +53,7 @@ class PlacementSolution:
 def _first_cross_table(n: int,
                        edges: Sequence[Tuple[int, int]]) -> List[List[int]]:
     """``table[i][k]`` = the smallest edge sink ``y > k`` over sources in
-    ``i..k`` (or ``n`` if none).  ``succ(i..k) âˆ© {k+1..j} != empty`` is then
+    ``i..k`` (or ``n`` if none).  ``succ(i..k) ∩ {k+1..j} != empty`` is then
     simply ``table[i][k] <= j``."""
     succs: List[List[int]] = [[] for _ in range(n)]
     for x, y in edges:

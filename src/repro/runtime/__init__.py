@@ -12,6 +12,7 @@ from .interpreter import (
     run_program,
     set_default_engine,
 )
+from .recorder import ExecutionTrace, TraceRecorder
 from .schedules import (
     DeferredScheduleInterpreter,
     DeterminismReport,
@@ -33,6 +34,8 @@ __all__ = [
     "get_default_engine",
     "run_program",
     "set_default_engine",
+    "ExecutionTrace",
+    "TraceRecorder",
     "Address",
     "ArrayValue",
     "Cell",

@@ -123,6 +123,7 @@ class CompiledEngine:
         st = self._st
         add_cost = self._add_cost
         globals_env = self.globals_env
+        self.observer.bind_pending_cost(lambda: st[1])
         for gdecl in program.globals:
             self._at_statement(gdecl.nid)
             value = (self._compile_expr(gdecl.init)(globals_env)

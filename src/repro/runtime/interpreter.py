@@ -97,6 +97,18 @@ class ExecutionObserver:
     def at_statement(self, stmt_nid: int) -> None:
         """A statement at the top level of the current scope begins."""
 
+    def bind_pending_cost(self, pending) -> None:
+        """Called once at run start with a zero-argument callable returning
+        the engine's *pending* (accrued but not yet flushed) cost.
+
+        Cost ticks are flushed lazily — at accesses and scope boundaries —
+        so the event stream alone does not say how many units have accrued
+        at an arbitrary statement boundary.  Observers that need that
+        number (the trace recorder records it at every ``at_statement`` so
+        replay can re-attribute cost across later-inserted ``finish``
+        boundaries) keep the callable; the default discards it.
+        """
+
     def read(self, addr, node: ast.Node) -> None:
         """The current step reads the memory location ``addr``."""
 
@@ -328,6 +340,7 @@ class Interpreter:
                 return compiled.run(args)
             finally:
                 self.ops = compiled.ops
+        self.observer.bind_pending_cost(lambda: self._pending_cost)
         for gdecl in self.program.globals:
             self.observer.at_statement(gdecl.nid)
             value = (self._eval(gdecl.init, self.globals_env)

@@ -1,0 +1,242 @@
+"""Execution-trace recording for replay-based re-detection.
+
+The repair loop's expensive step is the instrumented run: every monitored
+access pays interpreter dispatch *and* builder/detector work.  But finish
+insertion preserves serial-elision semantics — the depth-first execution
+of the edited program performs the identical computation, so its observer
+event stream is the iteration-0 stream plus the brackets of the new
+``finish`` statements.  :class:`TraceRecorder` tees the iteration-0 stream
+into a compact, segment-compiled :class:`ExecutionTrace`;
+:mod:`repro.races.replay` then re-runs S-DPST construction and ESP-bags
+detection for the *edited* program directly from the arrays, with no
+interpreter in the loop.
+
+Trace format (all parallel, index = control-event ordinal):
+
+* ``kinds``    — int opcode per control event (``K_*`` below; a virtual
+  ``K_START`` entry 0 anchors accesses before the first real event);
+* ``payloads`` — the event argument: statement nid for ``K_AT``, the
+  ``AsyncStmt``/``FinishStmt`` node for enters, a ``(kind, construct_nid,
+  block_nid)`` tuple for ``K_ENTER_SCOPE``, ``None`` for exits;
+* ``pends``    — for ``K_AT`` events, the engine's pending (accrued but
+  unflushed) cost at that statement boundary.  Replay needs it to split
+  cost correctly across finish brackets inserted at the boundary;
+* ``starts``   — index into the access arrays where the *segment* (the
+  run of accesses between this control event and the next) begins;
+* ``segcosts`` — total cost units flushed within the segment.
+
+Access arrays (index = access ordinal): ``acodes`` packs each monitored
+access as ``addr_id << 1 | is_write`` with ``addr_id`` interning the
+runtime address tuple into ``addr_table``; ``anodes`` holds the AST node
+reference reported with the access (shared with the program, so it stays
+valid across in-place finish insertion).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from ..lang import ast
+from .interpreter import ExecutionObserver
+
+#: Control-event opcodes.
+K_START = -1
+K_AT = 0
+K_ENTER_ASYNC = 1
+K_EXIT_ASYNC = 2
+K_ENTER_FINISH = 3
+K_EXIT_FINISH = 4
+K_ENTER_SCOPE = 5
+K_EXIT_SCOPE = 6
+
+
+class ExecutionTrace:
+    """One recorded instrumented run, in replay-ready form."""
+
+    __slots__ = ("kinds", "payloads", "pends", "starts", "segcosts",
+                 "acodes", "anodes", "addr_table", "stmt_nids",
+                 "finish_nids", "output", "ops", "value")
+
+    def __init__(self, kinds, payloads, pends, starts, segcosts,
+                 acodes, anodes, addr_table) -> None:
+        self.kinds: List[int] = kinds
+        self.payloads: List[Any] = payloads
+        self.pends: List[int] = pends
+        self.starts: List[int] = starts
+        self.segcosts: List[int] = segcosts
+        self.acodes: List[int] = acodes
+        self.anodes: List[Any] = anodes
+        self.addr_table: List[Any] = addr_table
+        #: statement nids that executed (used to validate a replay target).
+        self.stmt_nids = {payloads[j] for j, k in enumerate(kinds)
+                          if k == K_AT}
+        #: finish-statement nids whose enter events are *in* the trace;
+        #: replay must not inject brackets for these (they were already
+        #: present when the trace was recorded — e.g. synthetic finishes
+        #: from an earlier repair round).
+        self.finish_nids = {payloads[j].nid for j, k in enumerate(kinds)
+                            if k == K_ENTER_FINISH}
+        # Execution-result fields, filled in by the recording run's driver.
+        self.output: List[str] = []
+        self.ops = 0
+        self.value: Any = None
+
+    @property
+    def access_count(self) -> int:
+        return len(self.acodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ExecutionTrace(events={len(self.kinds)}, "
+                f"accesses={len(self.acodes)}, "
+                f"addrs={len(self.addr_table)})")
+
+
+class TraceRecorder(ExecutionObserver):
+    """Observer that tees every event to ``inner`` while recording it.
+
+    Wrap the :class:`~repro.dpst.builder.DpstBuilder` of the iteration-0
+    detection run; the builder (and its detector) see the exact stream
+    they would without recording.
+    """
+
+    def __init__(self, inner: ExecutionObserver) -> None:
+        self.inner = inner
+        self._pending = lambda: 0
+        # Control-event arrays, opened with the virtual K_START segment
+        # so accesses before the first real event (e.g. main's argument
+        # binding) have a home.
+        self._kinds: List[int] = [K_START]
+        self._payloads: List[Any] = [None]
+        self._pends: List[int] = [0]
+        self._starts: List[int] = [0]
+        self._segcosts: List[int] = [0]
+        # Access arrays + address interning.
+        self._acodes: List[int] = []
+        self._anodes: List[Any] = []
+        self._addr_ids = {}
+        self._addr_table: List[Any] = []
+        # Bound forwards / locals for the per-access hot path.
+        self._i_at = inner.at_statement
+        self._i_enter_async = inner.enter_async
+        self._i_exit_async = inner.exit_async
+        self._i_enter_finish = inner.enter_finish
+        self._i_exit_finish = inner.exit_finish
+        self._i_enter_scope = inner.enter_scope
+        self._i_exit_scope = inner.exit_scope
+        self._i_read = inner.read
+        self._i_write = inner.write
+        self._i_add_cost = inner.add_cost
+        self._i_cost_read = inner.cost_read
+        self._i_cost_write = inner.cost_write
+
+    # ------------------------------------------------------------------
+
+    def bind_pending_cost(self, pending) -> None:
+        self._pending = pending
+        self.inner.bind_pending_cost(pending)
+
+    def _event(self, kind: int, payload: Any, pend: int = 0) -> None:
+        self._kinds.append(kind)
+        self._payloads.append(payload)
+        self._pends.append(pend)
+        self._starts.append(len(self._acodes))
+        self._segcosts.append(0)
+
+    def _addr_id(self, addr) -> int:
+        aid = self._addr_ids.get(addr)
+        if aid is None:
+            aid = len(self._addr_table)
+            self._addr_ids[addr] = aid
+            self._addr_table.append(addr)
+        return aid
+
+    # ------------------------------------------------------------------
+    # Control events
+    # ------------------------------------------------------------------
+
+    def at_statement(self, stmt_nid: int) -> None:
+        self._event(K_AT, stmt_nid, self._pending())
+        self._i_at(stmt_nid)
+
+    def enter_async(self, stmt: ast.AsyncStmt) -> None:
+        self._event(K_ENTER_ASYNC, stmt)
+        self._i_enter_async(stmt)
+
+    def exit_async(self) -> None:
+        self._event(K_EXIT_ASYNC, None)
+        self._i_exit_async()
+
+    def enter_finish(self, stmt: ast.FinishStmt) -> None:
+        self._event(K_ENTER_FINISH, stmt)
+        self._i_enter_finish(stmt)
+
+    def exit_finish(self) -> None:
+        self._event(K_EXIT_FINISH, None)
+        self._i_exit_finish()
+
+    def enter_scope(self, kind: str, construct_nid: int,
+                    block_nid: int) -> None:
+        self._event(K_ENTER_SCOPE, (kind, construct_nid, block_nid))
+        self._i_enter_scope(kind, construct_nid, block_nid)
+
+    def exit_scope(self) -> None:
+        self._event(K_EXIT_SCOPE, None)
+        self._i_exit_scope()
+
+    # ------------------------------------------------------------------
+    # Access / cost events (the hot path)
+    # ------------------------------------------------------------------
+
+    def read(self, addr, node: ast.Node) -> None:
+        aid = self._addr_ids.get(addr)
+        if aid is None:
+            aid = len(self._addr_table)
+            self._addr_ids[addr] = aid
+            self._addr_table.append(addr)
+        self._acodes.append(aid << 1)
+        self._anodes.append(node)
+        self._i_read(addr, node)
+
+    def write(self, addr, node: ast.Node) -> None:
+        aid = self._addr_ids.get(addr)
+        if aid is None:
+            aid = len(self._addr_table)
+            self._addr_ids[addr] = aid
+            self._addr_table.append(addr)
+        self._acodes.append(aid << 1 | 1)
+        self._anodes.append(node)
+        self._i_write(addr, node)
+
+    def add_cost(self, units: int) -> None:
+        self._segcosts[-1] += units
+        self._i_add_cost(units)
+
+    def cost_read(self, units: int, addr, node: ast.Node) -> None:
+        aid = self._addr_ids.get(addr)
+        if aid is None:
+            aid = len(self._addr_table)
+            self._addr_ids[addr] = aid
+            self._addr_table.append(addr)
+        self._acodes.append(aid << 1)
+        self._anodes.append(node)
+        self._segcosts[-1] += units
+        self._i_cost_read(units, addr, node)
+
+    def cost_write(self, units: int, addr, node: ast.Node) -> None:
+        aid = self._addr_ids.get(addr)
+        if aid is None:
+            aid = len(self._addr_table)
+            self._addr_ids[addr] = aid
+            self._addr_table.append(addr)
+        self._acodes.append(aid << 1 | 1)
+        self._anodes.append(node)
+        self._segcosts[-1] += units
+        self._i_cost_write(units, addr, node)
+
+    # ------------------------------------------------------------------
+
+    def trace(self) -> ExecutionTrace:
+        """Freeze the recording into an :class:`ExecutionTrace`."""
+        return ExecutionTrace(self._kinds, self._payloads, self._pends,
+                              self._starts, self._segcosts,
+                              self._acodes, self._anodes, self._addr_table)

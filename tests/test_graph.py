@@ -107,6 +107,37 @@ class TestSpanParts:
         span_parts(tree.root, cache)
         assert tree.root.index in cache
 
+    def test_deep_tree_does_not_recurse(self):
+        # Recursive benchmarks produce S-DPSTs whose depth far exceeds the
+        # Python recursion limit; span_parts must handle them iteratively.
+        import sys
+
+        from repro.dpst.nodes import ASYNC, FINISH, STEP, DpstNode
+
+        depth = sys.getrecursionlimit() * 3
+        root = DpstNode(ASYNC, index=0, parent=None)
+        parent = root
+        index = 0
+        for level in range(depth):
+            index += 1
+            step = DpstNode(STEP, index=index, parent=parent)
+            step.cost = 1
+            parent.add_child(step)
+            index += 1
+            kind = FINISH if level % 2 else ASYNC
+            child = DpstNode(kind, index=index, parent=parent)
+            parent.add_child(child)
+            parent = child
+        index += 1
+        leaf = DpstNode(STEP, index=index, parent=parent)
+        leaf.cost = 1
+        parent.add_child(leaf)
+        advance, completion = span_parts(root)
+        # Every other level is a finish, so each level's step serializes
+        # with every enclosed finish subtree: the span is the total cost.
+        assert completion == depth + 1
+        assert advance == 0  # the root is an async
+
 
 class TestGreedySchedule:
     def test_one_processor_equals_work(self):

@@ -328,6 +328,29 @@ def synthesize_population(racy: int = 5, oversync: int = 29,
     return submissions
 
 
+def population_sources(seed: int = 59) -> List[Tuple[str, str]]:
+    """The synthetic corpus as ``(name, source)`` pairs — the batch
+    service's canonical classroom workload (many submissions, few
+    distinct programs)."""
+    return [(f"submission-{sub.ident:03d}.hj", sub.source)
+            for sub in synthesize_population(seed=seed)]
+
+
+def write_corpus(directory: str, seed: int = 59) -> List[str]:
+    """Materialize the corpus as ``.hj`` files for ``repro batch``;
+    returns the written paths in submission order."""
+    import os
+
+    os.makedirs(directory, exist_ok=True)
+    paths = []
+    for name, source in population_sources(seed=seed):
+        path = os.path.join(directory, name)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(source)
+        paths.append(path)
+    return paths
+
+
 def run_student_experiment(
         inputs: Sequence[Sequence[int]] = GRADING_INPUTS,
         seed: int = 59) -> dict:

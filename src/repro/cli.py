@@ -11,21 +11,39 @@ Examples::
     repro-repair repair program.hj --arg 100 -o repaired.hj
     repro-repair measure repaired.hj --arg 1000 --processors 12
     repro-repair bench --quick --experiments table4 students
+    repro-repair batch submissions/ --workers 4 --arg 40 --json
+    repro-repair serve --workers 4 --port 8321
+
+The batch service verbs (``batch``, ``serve``) and the ``--json`` output
+mode of ``detect``/``repair`` all speak the same machine-readable schema
+(:class:`repro.service.jobs.JobResult`).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
-from typing import Any, Sequence
+from typing import Any, List, Optional, Sequence, Tuple
 
 from .bench import harness
-from .errors import ReproError
+from .errors import (
+    LexError,
+    ParseError,
+    ReproError,
+    SourceError,
+    ValidationError,
+)
 from .graph import measure_program
 from .lang import parse, serial_elision, strip_finishes, validate
 from .races import detect_races
 from .repair import repair_program
 from .runtime import BUILTIN_NAMES, ENGINES, set_default_engine
+
+
+class _Diagnostic(Exception):
+    """A fatal CLI condition already formatted as a one-line message."""
 
 
 def _parse_arg(text: str) -> Any:
@@ -39,15 +57,76 @@ def _parse_arg(text: str) -> Any:
     return text
 
 
+def _source_error_line(path: str, error: SourceError) -> str:
+    """``file:line:col: kind: message`` — the compiler-style diagnostic."""
+    kind = "syntax error"
+    if isinstance(error, LexError):
+        kind = "lex error"
+    elif isinstance(error, ValidationError):
+        kind = "validation error"
+    elif not isinstance(error, ParseError):  # pragma: no cover - defensive
+        kind = "error"
+    location = path
+    if error.line is not None:
+        location += f":{error.line}"
+        if error.column is not None:
+            location += f":{error.column}"
+    return f"{location}: {kind}: {error.bare_message}"
+
+
+def _read_source(path: str) -> str:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return handle.read()
+    except OSError as error:
+        reason = error.strerror or str(error)
+        raise _Diagnostic(f"{path}: error: {reason}") from error
+
+
 def _load_program(path: str):
-    with open(path, "r", encoding="utf-8") as handle:
-        source = handle.read()
-    program = parse(source, source_name=path)
-    validate(program, BUILTIN_NAMES)
+    source = _read_source(path)
+    try:
+        program = parse(source, source_name=path)
+        validate(program, BUILTIN_NAMES)
+    except SourceError as error:
+        raise _Diagnostic(_source_error_line(path, error)) from error
     return program
 
 
+def _job_from_options(kind: str, options: argparse.Namespace) -> "Job":
+    """The service job equivalent of one detect/repair invocation."""
+    from .service import Job
+
+    return Job(
+        kind, _read_source(options.file), source_name=options.file,
+        args=[_parse_arg(a) for a in options.arg],
+        algorithm=options.algorithm,
+        strip_finishes=options.strip_finishes,
+        max_iterations=getattr(options, "max_iterations", 20),
+        replay=getattr(options, "replay", None))
+
+
+def _run_json_mode(kind: str, options: argparse.Namespace) -> int:
+    """Shared ``--json`` path: run via the service's job runner so the
+    CLI emits exactly the batch/HTTP result schema, errors included."""
+    from .service import run_job
+
+    result = run_job(_job_from_options(kind, options))
+    print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    output = getattr(options, "output", None)
+    if output and result.status == "ok" and kind == "repair":
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(result.result["repaired_source"])
+    if result.status != "ok":
+        return 2
+    if kind == "detect":
+        return 0 if result.result["race_free"] else 1
+    return 0 if result.result["converged"] else 1
+
+
 def _cmd_detect(options: argparse.Namespace) -> int:
+    if options.json:
+        return _run_json_mode("detect", options)
     program = _load_program(options.file)
     if options.strip_finishes:
         program = strip_finishes(program)
@@ -65,6 +144,8 @@ def _cmd_detect(options: argparse.Namespace) -> int:
 
 
 def _cmd_repair(options: argparse.Namespace) -> int:
+    if options.json:
+        return _run_json_mode("repair", options)
     program = _load_program(options.file)
     if options.strip_finishes:
         program = strip_finishes(program)
@@ -177,6 +258,111 @@ def _cmd_bench(options: argparse.Namespace) -> int:
     return 0
 
 
+def _collect_batch_files(paths: Sequence[str]) -> List[str]:
+    """Expand directory arguments into their ``.hj`` files, sorted."""
+    files: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            entries = sorted(
+                name for name in os.listdir(path)
+                if name.endswith(".hj")
+                and os.path.isfile(os.path.join(path, name)))
+            if not entries:
+                raise _Diagnostic(
+                    f"{path}: error: directory contains no .hj files")
+            files.extend(os.path.join(path, name) for name in entries)
+        else:
+            files.append(path)
+    if not files:
+        raise _Diagnostic("error: no input files")
+    return files
+
+
+def _cmd_batch(options: argparse.Namespace) -> int:
+    from .service import Job, ResultCache, WorkerPool
+
+    files = _collect_batch_files(options.paths)
+    args = [_parse_arg(a) for a in options.arg]
+    jobs = [Job(options.kind, _read_source(path), source_name=path,
+                args=args, algorithm=options.algorithm,
+                strip_finishes=options.strip_finishes,
+                max_iterations=options.max_iterations,
+                replay=options.replay, timeout_s=options.timeout)
+            for path in files]
+    cache = None
+    if not options.no_cache:
+        cache = ResultCache(options.cache_dir)
+    if options.output_dir:
+        os.makedirs(options.output_dir, exist_ok=True)
+
+    order = {id(job): index for index, job in enumerate(jobs)}
+    collected: List[Optional[Tuple[str, "Job", Any]]] = [None] * len(jobs)
+    interrupted = False
+    with WorkerPool(workers=options.workers, cache=cache) as pool:
+        ids = [pool.submit(job) for job in jobs]
+        id_to_job = dict(zip(ids, jobs))
+        remaining = set(ids)
+        while remaining:
+            try:
+                item = pool.next_completed(timeout=0.2)
+            except KeyboardInterrupt:
+                if interrupted:
+                    raise  # second ^C: abandon the drain
+                interrupted = True
+                cancelled = pool.cancel_pending()
+                print(f"interrupted: cancelled {len(cancelled)} queued "
+                      "job(s), draining in-flight jobs "
+                      "(^C again to abort)", file=sys.stderr)
+                continue
+            if item is None:
+                continue
+            job_id, result = item
+            if job_id not in remaining:
+                continue
+            remaining.discard(job_id)
+            job = id_to_job[job_id]
+            collected[order[id(job)]] = (job_id, job, result)
+            if not options.json or options.verbose:
+                print(result.describe(), file=sys.stderr)
+            if (options.output_dir and result.status == "ok"
+                    and options.kind == "repair"):
+                base = os.path.basename(job.source_name)
+                target = os.path.join(options.output_dir, base)
+                with open(target, "w", encoding="utf-8") as handle:
+                    handle.write(result.result["repaired_source"])
+
+    results = [entry[2] for entry in collected if entry is not None]
+    if options.json:
+        # JSON Lines, one result per input file in input order.
+        for result in results:
+            print(json.dumps(result.to_dict(), sort_keys=True))
+    by_status = {}
+    for result in results:
+        by_status[result.status] = by_status.get(result.status, 0) + 1
+    failed = sum(1 for r in results
+                 if r.status != "ok"
+                 or (r.kind == "repair" and not r.result["converged"]))
+    summary = ", ".join(f"{status}: {count}"
+                        for status, count in sorted(by_status.items()))
+    cache_note = ""
+    if cache is not None:
+        stats = cache.stats
+        cache_note = (f"; cache hits {stats.hits}/{stats.lookups} "
+                      f"({stats.hit_rate:.0%})")
+    print(f"batch: {len(results)} job(s) [{summary}] with "
+          f"{options.workers} worker(s){cache_note}", file=sys.stderr)
+    return 1 if failed or interrupted else 0
+
+
+def _cmd_serve(options: argparse.Namespace) -> int:
+    from .service import serve
+
+    serve(workers=options.workers, host=options.host, port=options.port,
+          cache_dir=options.cache_dir,
+          announce=lambda line: print(line, file=sys.stderr))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-repair",
@@ -203,12 +389,18 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(p_detect)
     p_detect.add_argument("--limit", type=int, default=20,
                           help="max races to print (default 20)")
+    p_detect.add_argument("--json", action="store_true",
+                          help="emit the machine-readable JobResult JSON "
+                               "(the batch/HTTP schema) instead of text")
     p_detect.set_defaults(func=_cmd_detect)
 
     p_repair = sub.add_parser("repair", help="repair the program")
     add_common(p_repair)
     p_repair.add_argument("-o", "--output", help="write repaired source here")
     p_repair.add_argument("--max-iterations", type=int, default=20)
+    p_repair.add_argument("--json", action="store_true",
+                          help="emit the machine-readable JobResult JSON "
+                               "(the batch/HTTP schema) instead of text")
     p_repair.add_argument("--replay", dest="replay", action="store_true",
                           default=None,
                           help="replay the recorded iteration-0 trace for "
@@ -253,6 +445,55 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--quick", action="store_true",
                          help="use tiny test inputs instead of paper sizes")
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_batch = sub.add_parser(
+        "batch",
+        help="run a job over many programs on a worker pool")
+    p_batch.add_argument("paths", nargs="+", metavar="dir|file",
+                         help="mini-HJ files, or directories of .hj files")
+    p_batch.add_argument("--kind", choices=("detect", "repair", "measure"),
+                         default="repair",
+                         help="what to run per program (default: repair)")
+    p_batch.add_argument("--workers", type=int, default=1,
+                         help="worker processes (default 1)")
+    p_batch.add_argument("--arg", action="append", default=[],
+                         help="argument passed to every program's main() "
+                              "(repeatable)")
+    p_batch.add_argument("--algorithm", choices=("mrw", "srw"),
+                         default="mrw")
+    p_batch.add_argument("--strip-finishes", action="store_true")
+    p_batch.add_argument("--max-iterations", type=int, default=20)
+    p_batch.add_argument("--replay", dest="replay", action="store_true",
+                         default=None)
+    p_batch.add_argument("--no-replay", dest="replay",
+                         action="store_false")
+    p_batch.add_argument("--timeout", type=float, default=None,
+                         help="per-job wall-clock budget in seconds")
+    p_batch.add_argument("--json", action="store_true",
+                         help="print a JSON array of JobResults (input "
+                              "order) to stdout")
+    p_batch.add_argument("--verbose", action="store_true",
+                         help="with --json, still log per-job progress "
+                              "lines to stderr")
+    p_batch.add_argument("--output-dir",
+                         help="write each repaired source here "
+                              "(repair batches only)")
+    p_batch.add_argument("--cache-dir",
+                         help="persist the content-addressed result "
+                              "cache in this directory")
+    p_batch.add_argument("--no-cache", action="store_true",
+                         help="disable the result cache (and in-batch "
+                              "deduplication) entirely")
+    p_batch.set_defaults(func=_cmd_batch)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the batch service as an HTTP server")
+    p_serve.add_argument("--workers", type=int, default=1)
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8321)
+    p_serve.add_argument("--cache-dir",
+                         help="persist the result cache in this directory")
+    p_serve.set_defaults(func=_cmd_serve)
     return parser
 
 
@@ -263,6 +504,9 @@ def main(argv: Sequence[str] = None) -> int:
         set_default_engine(options.engine)
     try:
         return options.func(options)
+    except _Diagnostic as diagnostic:
+        print(diagnostic, file=sys.stderr)
+        return 2
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -46,6 +46,30 @@ class DetectionResult:
     def dpst_node_count(self) -> int:
         return self.dpst.node_count()
 
+    def to_payload(self) -> dict:
+        """A plain-data view of the detection: JSON-serializable and
+        picklable, for the batch service and the CLI ``--json`` mode.
+
+        The ``races`` rows are the trace-file rows of
+        :meth:`~repro.races.report.RaceReport.to_trace_json`, so every
+        consumer of race reports — CLI, HTTP API, trace files — shares
+        one schema.
+        """
+        import json as _json
+
+        return {
+            "race_free": self.report.is_race_free,
+            "race_count": len(self.report),
+            "distinct_step_pairs": len(self.report.distinct_step_pairs()),
+            "counts_by_kind": self.report.counts_by_kind(),
+            "summary": self.report.summary(),
+            "races": _json.loads(self.report.to_trace_json())["races"],
+            "dpst_node_count": self.dpst_node_count,
+            "ops": self.execution.ops,
+            "elapsed_s": self.elapsed_s,
+            "replayed": bool(self.replayed),
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"DetectionResult(races={self.race_count}, "
                 f"nodes={self.dpst_node_count})")

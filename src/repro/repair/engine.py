@@ -141,6 +141,49 @@ class RepairResult:
                 f"{self.total_races_found} race(s) observed, "
                 f"{self.inserted_finish_count} finish(es) inserted")
 
+    def to_payload(self) -> Dict[str, Any]:
+        """A plain-data view of the repair: picklable (it crosses the
+        batch service's process boundary) and JSON-serializable (it is
+        the CLI ``--json`` / HTTP API result schema).
+
+        Unlike the full :class:`RepairResult` — which holds ASTs and
+        S-DPST node graphs that neither pickle nor serialize — this
+        carries only sources, counts, timings and the placement
+        decisions of every iteration.
+        """
+        return {
+            "converged": self.converged,
+            "repaired_source": self.repaired_source,
+            "inserted_finish_count": self.inserted_finish_count,
+            "total_races_found": self.total_races_found,
+            "iteration_count": len(self.iterations),
+            "detection_time_s": self.detection_time_s,
+            "repair_time_s": self.repair_time_s,
+            "dpst_node_count": self.dpst_node_count,
+            "summary": self.summary(),
+            "iterations": [{
+                "index": it.index,
+                "race_count": it.race_count,
+                "replayed": bool(it.detection.replayed),
+                "detection_s": it.detection.elapsed_s,
+                "placement_s": it.placement_time_s,
+                "edit_count": len(it.edits),
+                "placements": [{
+                    "nslca_index": p.nslca_index,
+                    "graph_size": p.graph_size,
+                    "edge_count": p.edge_count,
+                    "cost": p.cost,
+                    "finishes": [list(f) for f in p.finishes],
+                } for p in it.placements],
+            } for it in self.iterations],
+            "final_detection": {
+                "race_free": self.final_detection.report.is_race_free,
+                "race_count": len(self.final_detection.report),
+                "replayed": bool(self.final_detection.replayed),
+                "elapsed_s": self.final_detection.elapsed_s,
+            },
+        }
+
 
 class RepairEngine:
     """Configurable driver for test-driven repair."""

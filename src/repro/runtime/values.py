@@ -26,6 +26,21 @@ def _fresh_id() -> int:
     return next(_ids)
 
 
+def reset_ids() -> None:
+    """Restart address allocation at 1, as in a freshly started process.
+
+    Addresses appear verbatim in race reports (``("elem", array_id,
+    index)``), so two executions of one program only produce identical
+    reports if they allocate from the same starting id.  Batch runners
+    call this before each job so a warm worker process reports exactly
+    what a fresh single-shot process would.  Never call this while an
+    execution is in flight: live objects keep their ids and new
+    allocations would collide with them.
+    """
+    global _ids
+    _ids = itertools.count(1)
+
+
 class Cell:
     """A single variable binding with a unique address."""
 

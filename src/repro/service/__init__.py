@@ -1,0 +1,43 @@
+"""Batch repair service: jobs, worker pool, result cache, HTTP server.
+
+This subpackage turns the single-shot pipeline (one program per process,
+via :mod:`repro.cli`) into a concurrent job runner:
+
+* :mod:`~repro.service.jobs` — the typed :class:`Job`/:class:`JobResult`
+  model with structured JSON serialization and faithful error capture;
+* :mod:`~repro.service.pool` — a multiprocessing worker pool with
+  streaming results, per-job wall-clock timeouts, crash containment and
+  graceful cancellation;
+* :mod:`~repro.service.cache` — a content-addressed result cache keyed
+  on the canonical (parse → pretty-print) source text;
+* :mod:`~repro.service.server` — the ``repro serve`` HTTP front-end.
+
+Typical batch use::
+
+    from repro.service import Job, ResultCache, run_batch
+    jobs = [Job("repair", source, source_name=name, args=(40,))
+            for name, source in corpus]
+    for job_id, job, result in run_batch(jobs, workers=4,
+                                         cache=ResultCache()):
+        print(result.describe())
+"""
+
+from .cache import CacheStats, ResultCache, canonical_source
+from .jobs import JOB_KINDS, Job, JobResult, run_job
+from .pool import PoolStats, WorkerPool, run_batch
+from .server import ServiceServer, serve
+
+__all__ = [
+    "JOB_KINDS",
+    "Job",
+    "JobResult",
+    "run_job",
+    "CacheStats",
+    "ResultCache",
+    "canonical_source",
+    "PoolStats",
+    "WorkerPool",
+    "run_batch",
+    "ServiceServer",
+    "serve",
+]

@@ -1,0 +1,203 @@
+"""``repro serve`` — a stdlib HTTP front-end over the worker pool.
+
+Three endpoints, JSON in and out:
+
+``POST /jobs``
+    Submit a batch.  Body: ``{"jobs": [<job dict>, ...]}`` (or a single
+    job dict); each job dict is :meth:`repro.service.jobs.Job.to_dict`
+    shaped — ``kind`` and ``source`` required, everything else optional.
+    Response: ``{"ids": [...], "submitted": N}``, HTTP 202.
+
+``GET /jobs/<id>``
+    Poll one job: ``{"id", "status": queued|running|done|unknown,
+    "result": <JobResult dict> | null}``.
+
+``GET /stats``
+    Pool throughput (jobs/sec, per-kind latency counters, status
+    counts) and cache effectiveness (hit rate, stores).
+
+The server is intentionally small — ``http.server`` from the standard
+library, threaded so slow pollers never block submissions; anything
+production-shaped beyond that (auth, TLS, persistence of job state)
+stays out of scope for the reproduction.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+
+from .cache import ResultCache
+from .jobs import Job
+from .pool import WorkerPool
+
+#: refuse request bodies beyond this many bytes (a submission of the
+#: whole student corpus is ~100 KiB; 16 MiB is generous headroom).
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """Request handler bound to the server's pool via ``self.server``."""
+
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------
+
+    @property
+    def pool(self) -> WorkerPool:
+        return self.server.pool  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if getattr(self.server, "verbose", False):  # pragma: no cover
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    def _read_body(self) -> Optional[bytes]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            self._error(400, "a JSON request body is required")
+            return None
+        if length > MAX_BODY_BYTES:
+            self._error(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+            return None
+        return self.rfile.read(length)
+
+    # -- routes --------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        if self.path.rstrip("/") != "/jobs":
+            self._error(404, f"no such endpoint: POST {self.path}")
+            return
+        body = self._read_body()
+        if body is None:
+            return
+        try:
+            payload = json.loads(body)
+        except ValueError as error:
+            self._error(400, f"invalid JSON: {error}")
+            return
+        if isinstance(payload, dict) and "jobs" in payload:
+            entries = payload["jobs"]
+        elif isinstance(payload, dict):
+            entries = [payload]
+        else:
+            entries = payload
+        if not isinstance(entries, list) or not entries:
+            self._error(400, "expected {'jobs': [...]} with at least one job")
+            return
+        jobs: List[Job] = []
+        for index, entry in enumerate(entries):
+            try:
+                jobs.append(Job.from_dict(entry))
+            except (TypeError, ValueError) as error:
+                self._error(400, f"job #{index}: {error}")
+                return
+        ids = [self.pool.submit(job) for job in jobs]
+        self._send_json(202, {"ids": ids, "submitted": len(ids)})
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        path = self.path.rstrip("/") or "/"
+        if path == "/stats":
+            stats = {"pool": self.pool.stats.to_dict(),
+                     "workers": self.pool.workers}
+            if self.pool.cache is not None:
+                stats["cache"] = self.pool.cache.stats.to_dict()
+                stats["cache"]["entries"] = len(self.pool.cache)
+            self._send_json(200, stats)
+            return
+        if path.startswith("/jobs/"):
+            job_id = path[len("/jobs/"):]
+            status = self.pool.status(job_id)
+            if status == "unknown":
+                self._error(404, f"unknown job id {job_id!r}")
+                return
+            result = self.pool.result(job_id)
+            self._send_json(200, {
+                "id": job_id,
+                "status": status,
+                "result": result.to_dict() if result is not None else None,
+            })
+            return
+        self._error(404, f"no such endpoint: GET {self.path}")
+
+
+class ServiceServer:
+    """The pool + HTTP listener pair behind ``repro serve``."""
+
+    def __init__(self, workers: int = 1, host: str = "127.0.0.1",
+                 port: int = 8321, cache: Optional[ResultCache] = None
+                 ) -> None:
+        # No completion stream: HTTP clients poll GET /jobs/<id>, so an
+        # unconsumed stream queue would only grow without bound.
+        self.pool = WorkerPool(workers=workers, cache=cache,
+                               keep_stream=False)
+        self.httpd = ThreadingHTTPServer((host, port), ServiceHandler)
+        self.httpd.daemon_threads = True
+        self.httpd.pool = self.pool  # type: ignore[attr-defined]
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        host, port = self.httpd.server_address[:2]
+        return str(host), int(port)
+
+    def start(self) -> "ServiceServer":
+        """Start the pool and serve in a background thread (tests and
+        embedding; the CLI uses :meth:`serve_forever`)."""
+        self.pool.start()
+        thread = threading.Thread(target=self.httpd.serve_forever,
+                                  name="repro-serve-http", daemon=True)
+        thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self.pool.start()
+        try:
+            self.httpd.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        self.pool.shutdown()
+
+
+def serve(workers: int = 1, host: str = "127.0.0.1", port: int = 8321,
+          cache_dir: Optional[str] = None,
+          announce=None) -> None:
+    """Run the batch service until interrupted (the ``repro serve``
+    entry point).  The first SIGINT shuts down gracefully: the listener
+    stops, queued jobs are cancelled and in-flight jobs drain."""
+    cache = ResultCache(cache_dir) if cache_dir is not None \
+        else ResultCache()
+    server = ServiceServer(workers=workers, host=host, port=port,
+                           cache=cache)
+    if announce is not None:
+        host_, port_ = server.address
+        announce(f"repro serve: listening on http://{host_}:{port_} "
+                 f"with {workers} worker(s)"
+                 + (f", cache at {cache_dir}" if cache_dir else ""))
+    # serve_forever handles KeyboardInterrupt; translate SIGTERM into the
+    # same graceful path when we're on the main thread.
+    if threading.current_thread() is threading.main_thread():
+        def _graceful(_signum, _frame):
+            raise KeyboardInterrupt
+
+        signal.signal(signal.SIGTERM, _graceful)
+    server.serve_forever()

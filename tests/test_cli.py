@@ -1,5 +1,7 @@
 """The repro-repair command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -143,3 +145,135 @@ class TestErrors:
         path.write_text("def main( {")
         assert main(["detect", str(path)]) == 2
         assert "error" in capsys.readouterr().err
+
+    def test_parse_error_is_one_line_diagnostic(self, tmp_path, capsys):
+        path = tmp_path / "bad.hj"
+        path.write_text("def main( {")
+        assert main(["detect", str(path)]) == 2
+        err = capsys.readouterr().err.strip()
+        assert len(err.splitlines()) == 1
+        # file:line:col: category: message — clickable and greppable.
+        assert err.startswith(f"{path}:1:")
+        assert "syntax error:" in err
+
+    def test_lex_error_diagnostic(self, tmp_path, capsys):
+        path = tmp_path / "bad.hj"
+        path.write_text("def main() { var x = `; }")
+        assert main(["detect", str(path)]) == 2
+        err = capsys.readouterr().err.strip()
+        assert err.startswith(f"{path}:1:") and "lex error:" in err
+
+    def test_validation_error_diagnostic(self, tmp_path, capsys):
+        path = tmp_path / "nomain.hj"
+        path.write_text("def helper() { }")
+        assert main(["repair", str(path)]) == 2
+        err = capsys.readouterr().err.strip()
+        assert len(err.splitlines()) == 1
+        assert str(path) in err and "validation error:" in err
+
+
+class TestJsonMode:
+    def test_detect_json_schema(self, racy_file, capsys):
+        code = main(["detect", racy_file, "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["schema"] == 1
+        assert payload["status"] == "ok"
+        assert payload["kind"] == "detect"
+        assert payload["result"]["race_count"] == 1
+        assert payload["result"]["races"][0]["kind"] == "W->R"
+
+    def test_detect_json_clean_exit_zero(self, clean_file, capsys):
+        assert main(["detect", clean_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["result"]["race_free"]
+
+    def test_repair_json_matches_plain_repair(self, racy_file, tmp_path,
+                                              capsys):
+        plain_out = tmp_path / "plain.hj"
+        assert main(["repair", racy_file, "-o", str(plain_out)]) == 0
+        capsys.readouterr()
+        json_out = tmp_path / "json.hj"
+        code = main(["repair", racy_file, "--json", "-o", str(json_out)])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["result"]["converged"]
+        # --json changes the report format, never the repair.
+        assert json_out.read_text() == plain_out.read_text()
+        assert payload["result"]["repaired_source"] == plain_out.read_text()
+
+    def test_json_error_is_structured(self, tmp_path, capsys):
+        path = tmp_path / "bad.hj"
+        path.write_text("def main( {")
+        assert main(["detect", str(path), "--json"]) == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"] == "error"
+        assert payload["error"]["category"] == "parse"
+        assert payload["error"]["line"] == 1
+
+
+class TestBatch:
+    @pytest.fixture
+    def corpus(self, tmp_path):
+        directory = tmp_path / "corpus"
+        directory.mkdir()
+        (directory / "racy.hj").write_text(RACY)
+        (directory / "clean.hj").write_text(CLEAN)
+        (directory / "twin.hj").write_text("// same program\n" + RACY)
+        return directory
+
+    def test_batch_repairs_directory(self, corpus, tmp_path, capsys):
+        out_dir = tmp_path / "fixed"
+        code = main(["batch", str(corpus), "--workers", "2",
+                     "--output-dir", str(out_dir)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "3 job(s)" in captured.err
+        assert sorted(p.name for p in out_dir.iterdir()) == \
+            ["clean.hj", "racy.hj", "twin.hj"]
+        # Per-program output identical to single-shot repair.
+        single = tmp_path / "single.hj"
+        assert main(["repair", str(corpus / "racy.hj"),
+                     "-o", str(single)]) == 0
+        assert (out_dir / "racy.hj").read_text() == single.read_text()
+
+    def test_batch_json_stream(self, corpus, capsys):
+        code = main(["batch", str(corpus), "--kind", "detect", "--json"])
+        captured = capsys.readouterr()
+        # Races found are results, not failures: the batch succeeded.
+        assert code == 0
+        lines = [json.loads(line) for line in
+                 captured.out.strip().splitlines()]
+        assert len(lines) == 3
+        by_name = {entry["source_name"].rsplit("/", 1)[-1]: entry
+                   for entry in lines}
+        assert not by_name["racy.hj"]["result"]["race_free"]
+        assert by_name["clean.hj"]["result"]["race_free"]
+
+    def test_batch_bad_file_does_not_poison(self, corpus, capsys):
+        (corpus / "bad.hj").write_text("def main( {")
+        code = main(["batch", str(corpus), "--kind", "detect", "--json"])
+        captured = capsys.readouterr()
+        assert code == 1  # one job genuinely failed
+        lines = [json.loads(line) for line in
+                 captured.out.strip().splitlines()]
+        by_name = {entry["source_name"].rsplit("/", 1)[-1]: entry
+                   for entry in lines}
+        assert by_name["bad.hj"]["status"] == "error"
+        assert by_name["racy.hj"]["status"] == "ok"
+
+    def test_batch_cache_across_runs(self, corpus, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["batch", str(corpus), "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["batch", str(corpus), "--cache-dir", cache_dir,
+                     "--json"]) == 0
+        lines = [json.loads(line) for line in
+                 capsys.readouterr().out.strip().splitlines()]
+        assert all(entry["cached"] for entry in lines)
+
+    def test_batch_rejects_empty_input(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["batch", str(empty)]) == 2
+        assert "no .hj files" in capsys.readouterr().err

@@ -1,0 +1,180 @@
+"""The batch service's Job/JobResult model and in-process runner."""
+
+import json
+import pickle
+
+import pytest
+
+from repro import parse
+from repro.repair import repair_program
+from repro.service import Job, JobResult, run_job
+from repro.service.jobs import DETERMINISTIC_ERRORS
+
+RACY = """
+var x = 0;
+def main() {
+    async { x = 1; }
+    print(x);
+}
+"""
+
+
+class TestJobModel:
+    def test_roundtrip(self):
+        job = Job("repair", RACY, source_name="a.hj", args=(40, "x"),
+                  algorithm="srw", strip_finishes=True, max_iterations=7,
+                  replay=False, timeout_s=2.5)
+        clone = Job.from_dict(json.loads(json.dumps(job.to_dict())))
+        assert clone.to_dict() == job.to_dict()
+        assert clone.args == (40, "x")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown job kind"):
+            Job("grade", RACY)
+
+    def test_from_dict_requires_kind_and_source(self):
+        with pytest.raises(ValueError, match="kind"):
+            Job.from_dict({"source": RACY})
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown job field"):
+            Job.from_dict({"kind": "detect", "source": RACY, "bogus": 1})
+
+    def test_semantic_fields_exclude_timing_knobs(self):
+        a = Job("detect", RACY, replay=True, timeout_s=1.0)
+        b = Job("detect", RACY, replay=False, timeout_s=9.0)
+        assert a.semantic_fields() == b.semantic_fields()
+
+    def test_semantic_fields_differ_by_kind_knobs(self):
+        assert Job("repair", RACY, max_iterations=3).semantic_fields() != \
+            Job("repair", RACY, max_iterations=4).semantic_fields()
+        assert Job("detect", RACY, algorithm="mrw").semantic_fields() != \
+            Job("detect", RACY, algorithm="srw").semantic_fields()
+
+
+class TestRunJob:
+    def test_detect(self):
+        result = run_job(Job("detect", RACY, source_name="r.hj"))
+        assert result.status == "ok"
+        assert result.kind == "detect"
+        assert result.result["race_count"] == 1
+        assert not result.result["race_free"]
+        assert result.result["races"][0]["kind"] == "W->R"
+        assert result.elapsed_s > 0
+
+    def test_repair_matches_library(self):
+        result = run_job(Job("repair", RACY, source_name="r.hj"))
+        assert result.status == "ok"
+        assert result.result["converged"]
+        expected = repair_program(parse(RACY))
+        assert result.result["repaired_source"] == expected.repaired_source
+        assert result.result["iterations"][0]["placements"]
+
+    def test_measure(self):
+        result = run_job(Job("measure", RACY, processors=4))
+        assert result.status == "ok"
+        assert result.result["processors"] == 4
+        assert result.result["work"] >= result.result["span"]
+
+    def test_strip_finishes(self):
+        clean = ("var x = 0;\n"
+                 "def main() { finish { async { x = 1; } } print(x); }")
+        kept = run_job(Job("detect", clean))
+        stripped = run_job(Job("detect", clean, strip_finishes=True))
+        assert kept.result["race_free"]
+        assert not stripped.result["race_free"]
+
+    def test_result_payload_is_picklable_and_json(self):
+        result = run_job(Job("repair", RACY))
+        assert pickle.loads(pickle.dumps(result.result)) == result.result
+        json.dumps(result.to_dict())
+
+
+class TestErrorCapture:
+    def test_parse_error(self):
+        result = run_job(Job("detect", "def main( {", source_name="bad.hj"))
+        assert result.status == "error"
+        assert result.error["category"] == "parse"
+        assert result.error["line"] == 1
+        assert result.error["column"] is not None
+        assert result.result is None
+
+    def test_lex_error(self):
+        result = run_job(Job("detect", "def main() { var x = `; }"))
+        assert result.status == "error"
+        assert result.error["category"] == "lex"
+
+    def test_validation_error(self):
+        result = run_job(Job("detect", "def f() { }"))  # no main()
+        assert result.status == "error"
+        assert result.error["category"] == "validate"
+
+    def test_runtime_fault(self):
+        source = "def main() { var a = new int[2]; a[5] = 1; }"
+        result = run_job(Job("detect", source))
+        assert result.status == "error"
+        assert result.error["category"] == "runtime"
+
+    def test_step_limit(self):
+        result = run_job(Job("detect", RACY, max_ops=3))
+        assert result.status == "error"
+        assert result.error["category"] == "step-limit"
+
+    def test_repair_error(self, monkeypatch):
+        from repro.repair import insertion
+
+        monkeypatch.setattr(insertion.InsertionFinder, "find",
+                            lambda self, *a, **k: None)
+        result = run_job(Job("repair", RACY))
+        assert result.status == "error"
+        assert result.error["category"] == "repair"
+
+    def test_internal_error_keeps_traceback(self, monkeypatch):
+        import repro.races.detect as detect_mod
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("kaboom")
+
+        monkeypatch.setattr(detect_mod, "detect_races", boom)
+        monkeypatch.setattr("repro.races.detect_races", boom)
+        result = run_job(Job("detect", RACY))
+        assert result.status == "error"
+        assert result.error["category"] == "internal"
+        assert "kaboom" in result.error["traceback"]
+
+    def test_errors_never_raise(self):
+        # A sweep of malformed inputs: run_job must always return.
+        for source in ("", "}{", "def main() { undefinedcall(); }",
+                       "var x = ;", "def main() { return 1 + true; }"):
+            result = run_job(Job("detect", source))
+            assert result.status == "error", source
+
+
+class TestJobResult:
+    def test_roundtrip(self):
+        result = run_job(Job("detect", RACY))
+        clone = JobResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert clone.to_dict() == result.to_dict()
+
+    def test_schema_guard(self):
+        with pytest.raises(ValueError, match="schema"):
+            JobResult.from_dict({"schema": 999, "status": "ok",
+                                 "kind": "detect"})
+
+    def test_deterministic_statuses(self):
+        ok = run_job(Job("detect", RACY))
+        assert ok.is_deterministic
+        parse = run_job(Job("detect", "def main( {"))
+        assert parse.is_deterministic
+        assert parse.error["category"] in DETERMINISTIC_ERRORS
+        job = Job("detect", RACY)
+        for status in ("timeout", "crashed", "cancelled"):
+            assert not JobResult.interrupted(job, status,
+                                             "x").is_deterministic
+
+    def test_describe_mentions_origin(self):
+        result = run_job(Job("detect", RACY, source_name="d.hj"))
+        assert "d.hj" in result.describe()
+        assert "run" in result.describe()
+        result.cached = True
+        assert "cache" in result.describe()

@@ -1,0 +1,155 @@
+"""The ``repro serve`` HTTP front-end: submit, poll, stats, errors."""
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import Job, ResultCache, ServiceServer
+
+RACY = """
+var x = 0;
+def main() {
+    async { x = 1; }
+    print(x);
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def server():
+    srv = ServiceServer(workers=1, port=0, cache=ResultCache())
+    srv.start()
+    yield srv
+    srv.close()
+
+
+def _url(server, path):
+    host, port = server.address
+    return f"http://{host}:{port}{path}"
+
+
+def _get(server, path):
+    with urllib.request.urlopen(_url(server, path), timeout=10) as reply:
+        return reply.status, json.loads(reply.read())
+
+
+def _post(server, path, payload):
+    body = json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        _url(server, path), data=body,
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(request, timeout=10) as reply:
+        return reply.status, json.loads(reply.read())
+
+
+def _poll_done(server, job_id, budget_s=60.0):
+    deadline = time.monotonic() + budget_s
+    while time.monotonic() < deadline:
+        status, reply = _get(server, f"/jobs/{job_id}")
+        assert status == 200
+        if reply["status"] == "done":
+            return reply
+        time.sleep(0.05)
+    raise AssertionError(f"job {job_id} never completed")
+
+
+class TestSubmitAndPoll:
+    def test_full_cycle(self, server):
+        status, reply = _post(server, "/jobs", {
+            "jobs": [{"kind": "repair", "source": RACY,
+                      "source_name": "r.hj"}]})
+        assert status == 202
+        assert reply["submitted"] == 1
+        reply = _poll_done(server, reply["ids"][0])
+        result = reply["result"]
+        assert result["status"] == "ok"
+        assert result["result"]["converged"]
+        assert result["source_name"] == "r.hj"
+
+    def test_single_job_body_shorthand(self, server):
+        status, reply = _post(server, "/jobs",
+                              {"kind": "detect", "source": RACY})
+        assert status == 202
+        result = _poll_done(server, reply["ids"][0])["result"]
+        assert result["result"]["race_count"] == 1
+
+    def test_error_job_reports_structured_error(self, server):
+        _, reply = _post(server, "/jobs",
+                         {"kind": "detect", "source": "def main( {",
+                          "source_name": "bad.hj"})
+        result = _poll_done(server, reply["ids"][0])["result"]
+        assert result["status"] == "error"
+        assert result["error"]["category"] == "parse"
+
+    def test_repeat_submission_hits_cache(self, server):
+        body = {"kind": "repair", "source": RACY, "source_name": "again.hj"}
+        _, first = _post(server, "/jobs", body)
+        _poll_done(server, first["ids"][0])
+        _, second = _post(server, "/jobs", body)
+        result = _poll_done(server, second["ids"][0])["result"]
+        assert result["cached"]
+
+    def test_stats_endpoint(self, server):
+        _, reply = _post(server, "/jobs",
+                         {"kind": "detect", "source": RACY})
+        _poll_done(server, reply["ids"][0])
+        status, stats = _get(server, "/stats")
+        assert status == 200
+        assert stats["workers"] == 1
+        assert stats["pool"]["completed"] >= 1
+        assert "hit_rate" in stats["cache"]
+        assert stats["cache"]["entries"] >= 1
+
+
+class TestHttpErrors:
+    def _expect_error(self, server, method, path, body=None):
+        if method == "GET":
+            call = lambda: _get(server, path)
+        else:
+            call = lambda: _post(server, path, body)
+        with pytest.raises(urllib.error.HTTPError) as info:
+            call()
+        return info.value.code, json.loads(info.value.read())
+
+    def test_unknown_job_id_is_404(self, server):
+        code, reply = self._expect_error(server, "GET", "/jobs/job-999999")
+        assert code == 404
+        assert "unknown job id" in reply["error"]
+
+    def test_unknown_endpoint_is_404(self, server):
+        code, _ = self._expect_error(server, "GET", "/nope")
+        assert code == 404
+        code, _ = self._expect_error(server, "POST", "/nope",
+                                     {"kind": "detect", "source": RACY})
+        assert code == 404
+
+    def test_malformed_json_is_400(self, server):
+        request = urllib.request.Request(
+            _url(server, "/jobs"), data=b"{ not json",
+            headers={"Content-Type": "application/json"})
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request, timeout=10)
+        assert info.value.code == 400
+        assert "invalid JSON" in json.loads(info.value.read())["error"]
+
+    def test_bad_job_field_is_400(self, server):
+        code, reply = self._expect_error(
+            server, "POST", "/jobs",
+            {"kind": "detect", "source": RACY, "bogus": 1})
+        assert code == 400
+        assert "unknown job field" in reply["error"]
+
+    def test_missing_body_is_400(self, server):
+        request = urllib.request.Request(_url(server, "/jobs"), data=b"")
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request, timeout=10)
+        assert info.value.code == 400
+
+    def test_empty_batch_is_400(self, server):
+        code, reply = self._expect_error(server, "POST", "/jobs",
+                                         {"jobs": []})
+        assert code == 400
+        assert "at least one job" in reply["error"]

@@ -36,11 +36,19 @@ script re-invokes itself), so no measurement inherits allocator arenas,
 GC history or interned objects from a previous one — same-process
 back-to-back timings of allocation-heavy runs cross-contaminate by
 10-20% depending on ordering.  Each cell reports the best of
-``--trials`` runs.
+``--trials`` runs.  Timings come from the telemetry layer
+(:mod:`repro.telemetry`): each child process measures under a telemetry
+session, reports the root span's wall clock as ``wall_time_s`` and the
+session's per-phase totals (lex/parse/execute/dpst/detect/placement/...)
+as ``phases`` — the same spans ``repro profile`` and the batch service
+aggregate, so every consumer shares one definition of a phase.  Batch
+cells aggregate the per-job timings that ride back on each
+:class:`~repro.service.jobs.JobResult` into count/mean/p50/p95/max
+summaries per phase.
 
 Usage::
 
-    PYTHONPATH=src python scripts/bench.py               # full, writes BENCH_pr4.json
+    PYTHONPATH=src python scripts/bench.py               # full, writes BENCH_pr5.json
     PYTHONPATH=src python scripts/bench.py --quick       # tiny inputs, 1 trial, stdout only
     PYTHONPATH=src python scripts/bench.py --phases repair --programs crypt stress-nested
 """
@@ -154,8 +162,27 @@ def _load_repair_workload(name: str, args_kind: str):
     return strip_finishes(spec.parse()), args
 
 
+def _session_phases(tel) -> dict:
+    """The session's phase totals, rounded, for a bench record."""
+    return {phase: round(total, 6)
+            for phase, total in tel.phase_totals().items()}
+
+
+def _session_wall_s(tel) -> float:
+    """Wall-clock of the measured work: the root spans' total."""
+    return sum(span.duration_s for span in tel.roots())
+
+
 def _measure_child(options: argparse.Namespace) -> int:
-    """Run one measurement in this (fresh) process; print a JSON record."""
+    """Run one measurement in this (fresh) process; print a JSON record.
+
+    Every phase is measured under a telemetry session: ``wall_time_s``
+    is the root span's wall clock and ``phases`` the session's
+    per-phase totals, so the bench, ``repro profile`` and the service
+    ``/metrics`` endpoint all report the same spans.
+    """
+    from repro import telemetry
+
     if options.phase == "batch":
         from repro.bench.students import population_sources
         from repro.service import Job, ResultCache, run_batch
@@ -174,6 +201,14 @@ def _measure_child(options: argparse.Namespace) -> int:
         statuses: dict = {}
         for result in results.values():
             statuses[result.status] = statuses.get(result.status, 0) + 1
+        # Per-phase latency across executed jobs, from the telemetry
+        # timings each JobResult carries back over the pool boundary.
+        samples: dict = {}
+        for result in results.values():
+            for phase, seconds in (result.timings or {}).items():
+                samples.setdefault(phase, []).append(seconds)
+        phases = {phase: telemetry.summarize_samples(values)
+                  for phase, values in sorted(samples.items())}
         # Completion order varies with scheduling; hash in name order so
         # the digest compares across (workers, cache) cells.
         digest = hashlib.sha256()
@@ -189,6 +224,7 @@ def _measure_child(options: argparse.Namespace) -> int:
             "statuses": statuses,
             "cache_hits": sum(1 for r in results.values() if r.cached),
             "coalesced": sum(1 for r in results.values() if r.coalesced),
+            "phases": phases,
             "repaired_sha256": digest.hexdigest(),
         }
         print(json.dumps(record))
@@ -198,13 +234,13 @@ def _measure_child(options: argparse.Namespace) -> int:
 
         program, args = _load_repair_workload(options.program, options.args)
         replay = options.replay == "on"
-        start = time.perf_counter()
-        result = repair_program(program, args, algorithm=options.detector,
-                                reuse_trace=replay)
-        elapsed = time.perf_counter() - start
+        with telemetry.session("bench:repair") as tel:
+            result = repair_program(program, args,
+                                    algorithm=options.detector,
+                                    reuse_trace=replay)
         source = result.repaired_source
         record = {
-            "wall_time_s": elapsed,
+            "wall_time_s": _session_wall_s(tel),
             "repair_time_s": result.repair_time_s,
             "detection_time_s": result.detection_time_s,
             "iterations": len(result.iterations),
@@ -214,6 +250,7 @@ def _measure_child(options: argparse.Namespace) -> int:
             "replayed_detections": sum(
                 it.detection.replayed for it in result.iterations)
             + result.final_detection.replayed,
+            "phases": _session_phases(tel),
             "repaired_sha256": hashlib.sha256(
                 source.encode("utf-8")).hexdigest(),
         }
@@ -224,11 +261,12 @@ def _measure_child(options: argparse.Namespace) -> int:
     program = spec.parse()
     if options.phase == "execute":
         from repro.runtime import run_program
-        start = time.perf_counter()
-        result = run_program(program, args, engine=options.engine)
-        elapsed = time.perf_counter() - start
-        record = {"wall_time_s": elapsed, "ops": result.ops,
-                  "monitored_accesses": 0, "races": 0}
+        with telemetry.session("bench:execute") as tel:
+            with telemetry.span("execute", engine=options.engine):
+                result = run_program(program, args, engine=options.engine)
+        record = {"wall_time_s": _session_wall_s(tel), "ops": result.ops,
+                  "monitored_accesses": 0, "races": 0,
+                  "phases": _session_phases(tel)}
     else:
         from repro.lang import strip_finishes
         from repro.races import detect_races
@@ -236,15 +274,16 @@ def _measure_child(options: argparse.Namespace) -> int:
         # that is the program the repair loop actually runs the detector
         # on for the Table-1 experiments.
         program = strip_finishes(program)
-        start = time.perf_counter()
-        result = detect_races(program, args, algorithm=options.detector,
-                              engine=options.engine)
-        elapsed = time.perf_counter() - start
+        with telemetry.session("bench:detect") as tel:
+            result = detect_races(program, args, algorithm=options.detector,
+                                  engine=options.engine)
         detector = result.detector
-        record = {"wall_time_s": elapsed, "ops": result.execution.ops,
+        record = {"wall_time_s": _session_wall_s(tel),
+                  "ops": result.execution.ops,
                   "monitored_accesses": getattr(detector,
                                                 "monitored_accesses", 0),
-                  "races": result.race_count}
+                  "races": result.race_count,
+                  "phases": _session_phases(tel)}
     print(json.dumps(record))
     return 0
 
@@ -438,7 +477,7 @@ def main(argv=None) -> int:
                         help="detectors for the repair phase (default: mrw, "
                              "the paper's Table-2 configuration)")
     parser.add_argument("--output", default=None,
-                        help="output JSON path (default: BENCH_pr4.json "
+                        help="output JSON path (default: BENCH_pr5.json "
                              "next to the repo root; suppressed by --quick)")
     # Internal: one measurement in a fresh process.
     parser.add_argument("--_measure", action="store_true",
@@ -525,7 +564,12 @@ def main(argv=None) -> int:
             "trials": trials,
             "methodology": "best-of-N, one fresh Python process per "
                            "measurement; repair cells ranked by "
-                           "repair_time_s (the post-detection repair loop)",
+                           "repair_time_s (the post-detection repair loop); "
+                           "wall_time_s and per-phase breakdowns come from "
+                           "repro.telemetry sessions (the same spans "
+                           "'repro profile' and the service /metrics "
+                           "endpoint report); batch phases aggregate "
+                           "per-job JobResult timings (ms summaries)",
             "engines": list(ENGINES),
             "python": sys.version.split()[0],
         },
@@ -560,7 +604,7 @@ def main(argv=None) -> int:
     output = options.output
     if output is None and not options.quick:
         output = os.path.join(os.path.dirname(__file__), "..",
-                              "BENCH_pr4.json")
+                              "BENCH_pr5.json")
     if output:
         with open(output, "w", encoding="utf-8") as handle:
             json.dump(document, handle, indent=2, sort_keys=True)

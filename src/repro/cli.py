@@ -10,6 +10,7 @@ Examples::
     repro-repair detect program.hj --arg 100
     repro-repair repair program.hj --arg 100 -o repaired.hj
     repro-repair measure repaired.hj --arg 1000 --processors 12
+    repro-repair profile program.hj --arg 100 --trace-out trace.json
     repro-repair bench --quick --experiments table4 students
     repro-repair batch submissions/ --workers 4 --arg 40 --json
     repro-repair serve --workers 4 --port 8321
@@ -27,6 +28,7 @@ import os
 import sys
 from typing import Any, List, Optional, Sequence, Tuple
 
+from . import telemetry
 from .bench import harness
 from .errors import (
     LexError,
@@ -124,9 +126,23 @@ def _run_json_mode(kind: str, options: argparse.Namespace) -> int:
     return 0 if result.result["converged"] else 1
 
 
+def _print_timings(tel: "telemetry.TelemetrySession") -> None:
+    """The ``--timings`` report: span tree + counters, to stderr."""
+    print(telemetry.render_text(tel), file=sys.stderr)
+
+
 def _cmd_detect(options: argparse.Namespace) -> int:
     if options.json:
         return _run_json_mode("detect", options)
+    if options.timings:
+        with telemetry.session(f"detect:{options.file}") as tel:
+            code = _detect_text(options)
+        _print_timings(tel)
+        return code
+    return _detect_text(options)
+
+
+def _detect_text(options: argparse.Namespace) -> int:
     program = _load_program(options.file)
     if options.strip_finishes:
         program = strip_finishes(program)
@@ -146,6 +162,15 @@ def _cmd_detect(options: argparse.Namespace) -> int:
 def _cmd_repair(options: argparse.Namespace) -> int:
     if options.json:
         return _run_json_mode("repair", options)
+    if options.timings:
+        with telemetry.session(f"repair:{options.file}") as tel:
+            code = _repair_text(options)
+        _print_timings(tel)
+        return code
+    return _repair_text(options)
+
+
+def _repair_text(options: argparse.Namespace) -> int:
     program = _load_program(options.file)
     if options.strip_finishes:
         program = strip_finishes(program)
@@ -184,6 +209,38 @@ def _cmd_measure(options: argparse.Namespace) -> int:
     print(f"T{options.processors}  (greedy schedule)  = {result.makespan}")
     print(f"speedup     = {result.speedup:.2f}")
     print(f"parallelism = {result.parallelism:.2f}")
+    return 0
+
+
+def _cmd_profile(options: argparse.Namespace) -> int:
+    """Run one pipeline under a telemetry session and report it: span
+    tree + counters on stdout, optionally a Chrome ``trace_event`` JSON
+    file (chrome://tracing / https://ui.perfetto.dev) via
+    ``--trace-out``."""
+    args = [_parse_arg(a) for a in options.arg]
+    extra_events = None
+    with telemetry.session(f"profile:{options.file}") as tel:
+        program = _load_program(options.file)
+        if options.strip_finishes:
+            program = strip_finishes(program)
+        if options.kind == "detect":
+            detect_races(program, args, algorithm=options.algorithm)
+        elif options.kind == "repair":
+            repair_program(program, args, algorithm=options.algorithm,
+                           max_iterations=options.max_iterations)
+        else:  # measure: also export the simulated schedule as a
+            # second trace process (one row per virtual processor).
+            schedule = measure_program(program, args,
+                                       processors=options.processors,
+                                       keep_timeline=True)
+            extra_events = telemetry.schedule_trace_events(schedule)
+    print(telemetry.render_text(tel))
+    if options.trace_out:
+        telemetry.write_chrome_trace(tel, options.trace_out,
+                                     extra_events=extra_events)
+        print(f"wrote Chrome trace to {options.trace_out} "
+              "(load in chrome://tracing or https://ui.perfetto.dev)",
+              file=sys.stderr)
     return 0
 
 
@@ -278,6 +335,28 @@ def _collect_batch_files(paths: Sequence[str]) -> List[str]:
     return files
 
 
+def _batch_phase_table(results) -> Optional[str]:
+    """Aggregate executed jobs' per-phase timings into one summary
+    table (count / mean / p50 / p95 / max milliseconds per phase)."""
+    samples = {}
+    for result in results:
+        for phase, seconds in (result.timings or {}).items():
+            samples.setdefault(phase, []).append(seconds)
+    if not samples:
+        return None
+    rows = [(phase, telemetry.summarize_samples(values))
+            for phase, values in sorted(samples.items())]
+    width = max(len("phase"), max(len(phase) for phase, _ in rows))
+    lines = ["  {0}  count   mean ms    p50 ms    p95 ms    max ms"
+             .format("phase".ljust(width))]
+    for phase, s in rows:
+        lines.append(
+            f"  {phase.ljust(width)}  {s['count']:5d}  "
+            f"{s['mean_ms']:8.2f}  {s['p50_ms']:8.2f}  "
+            f"{s['p95_ms']:8.2f}  {s['max_ms']:8.2f}")
+    return "\n".join(lines)
+
+
 def _cmd_batch(options: argparse.Namespace) -> int:
     from .service import Job, ResultCache, WorkerPool
 
@@ -351,6 +430,10 @@ def _cmd_batch(options: argparse.Namespace) -> int:
                       f"({stats.hit_rate:.0%})")
     print(f"batch: {len(results)} job(s) [{summary}] with "
           f"{options.workers} worker(s){cache_note}", file=sys.stderr)
+    table = _batch_phase_table(results)
+    if table is not None:
+        print("phase latency over executed jobs:", file=sys.stderr)
+        print(table, file=sys.stderr)
     return 1 if failed or interrupted else 0
 
 
@@ -392,6 +475,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_detect.add_argument("--json", action="store_true",
                           help="emit the machine-readable JobResult JSON "
                                "(the batch/HTTP schema) instead of text")
+    p_detect.add_argument("--timings", action="store_true",
+                          help="print the telemetry span tree and runtime "
+                               "counters to stderr afterwards")
     p_detect.set_defaults(func=_cmd_detect)
 
     p_repair = sub.add_parser("repair", help="repair the program")
@@ -409,7 +495,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_repair.add_argument("--no-replay", dest="replay", action="store_false",
                           help="re-execute the program for every "
                                "re-detection instead of replaying the trace")
+    p_repair.add_argument("--timings", action="store_true",
+                          help="print the telemetry span tree and runtime "
+                               "counters to stderr afterwards")
     p_repair.set_defaults(func=_cmd_repair)
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="run a pipeline under telemetry and export the span tree, "
+             "optionally as Chrome trace_event JSON")
+    add_common(p_profile)
+    p_profile.add_argument("--kind",
+                           choices=("detect", "repair", "measure"),
+                           default="repair",
+                           help="which pipeline to profile "
+                                "(default: repair)")
+    p_profile.add_argument("--max-iterations", type=int, default=20)
+    p_profile.add_argument("--processors", type=int, default=12,
+                           help="simulated workers (measure profiles only)")
+    p_profile.add_argument("--trace-out", metavar="FILE",
+                           help="write a Chrome trace_event JSON file "
+                                "(open in chrome://tracing or Perfetto); "
+                                "measure profiles add the simulated "
+                                "schedule as a second trace process")
+    p_profile.set_defaults(func=_cmd_profile)
 
     p_measure = sub.add_parser(
         "measure", help="simulate parallel execution (work/span/T_P)")
@@ -513,6 +622,13 @@ def main(argv: Sequence[str] = None) -> int:
     except FileNotFoundError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Downstream closed early (e.g. `repro profile ... | head`).
+        # Redirect stdout to devnull so Python's interpreter-shutdown
+        # flush doesn't raise a second time, and exit like a killed
+        # pipe writer would.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141  # 128 + SIGPIPE
 
 
 if __name__ == "__main__":

@@ -2,6 +2,7 @@
 
 from typing import Any, Sequence
 
+from .. import telemetry
 from ..dpst.builder import DpstBuilder
 from ..lang import ast
 from ..runtime.interpreter import Interpreter
@@ -20,14 +21,27 @@ __all__ = [
 
 def measure_program(program: ast.Program, args: Sequence[Any] = (),
                     processors: int = 12, seed: int = 20140609,
-                    max_ops: int = 200_000_000) -> ScheduleResult:
+                    max_ops: int = 200_000_000,
+                    keep_timeline: bool = False) -> ScheduleResult:
     """Run a program, build its computation graph, and simulate P workers.
 
     Returns T1 (work == sequential time), T-infinity (CPL) and T_P for the
-    greedy schedule — the quantities behind Figure 16.
+    greedy schedule — the quantities behind Figure 16.  With
+    ``keep_timeline`` the result records each step's processor placement
+    (see :func:`~repro.graph.schedule.greedy_schedule`).
     """
-    builder = DpstBuilder()
-    Interpreter(program, builder, seed=seed, max_ops=max_ops).run(args)
-    dpst = builder.finish()
-    graph = ComputationGraph.from_dpst(dpst)
-    return greedy_schedule(graph, processors)
+    with telemetry.span("measure", processors=processors):
+        with telemetry.span("execute"):
+            builder = DpstBuilder()
+            Interpreter(program, builder, seed=seed, max_ops=max_ops
+                        ).run(args)
+        with telemetry.span("dpst"):
+            dpst = builder.finish()
+        with telemetry.span("graph"):
+            graph = ComputationGraph.from_dpst(dpst)
+        with telemetry.span("schedule"):
+            schedule = greedy_schedule(graph, processors,
+                                       keep_timeline=keep_timeline)
+        telemetry.counter("schedule.steps", len(graph.order))
+        telemetry.counter("dpst.nodes", builder._counter + 1)
+    return schedule

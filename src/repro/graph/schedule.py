@@ -9,7 +9,7 @@ enough to preserve the paper's sequential-vs-parallel shape.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 from .computation import ComputationGraph
 
@@ -18,7 +18,9 @@ class ScheduleResult:
     """Outcome of simulating a P-processor execution."""
 
     def __init__(self, processors: int, makespan: int, work: int,
-                 span: int) -> None:
+                 span: int,
+                 timeline: Optional[List[Tuple[int, int, int, int]]] = None
+                 ) -> None:
         self.processors = processors
         #: simulated parallel execution time T_P
         self.makespan = makespan
@@ -26,6 +28,11 @@ class ScheduleResult:
         self.work = work
         #: critical path length T_inf
         self.span = span
+        #: per-step placement ``(step, processor, start, end)`` in
+        #: simulated time units, completion order — recorded only with
+        #: ``keep_timeline=True`` (it is O(steps) memory).  The telemetry
+        #: exporter renders it as a Chrome trace, one row per processor.
+        self.timeline = timeline
 
     @property
     def speedup(self) -> float:
@@ -42,44 +49,60 @@ class ScheduleResult:
                 f"T1={self.work}, Tinf={self.span})")
 
 
-def greedy_schedule(graph: ComputationGraph, processors: int) -> ScheduleResult:
-    """Simulate greedy list scheduling; deterministic (ties by step index).
+def greedy_schedule(graph: ComputationGraph, processors: int,
+                    keep_timeline: bool = False) -> ScheduleResult:
+    """Simulate greedy list scheduling; deterministic (ties by step index,
+    assigned to the lowest-numbered free processor).
 
     At every moment each of the ``processors`` workers runs one ready step
     to completion (steps are the atomic units, as in the paper's model
-    where only async/finish boundaries yield).
+    where only async/finish boundaries yield).  With ``keep_timeline`` the
+    result also records every step's ``(step, processor, start, end)``
+    placement — O(steps) memory, for the telemetry schedule exporter.
     """
     if processors <= 0:
         raise ValueError("processors must be positive")
     indegree: Dict[int, int] = {i: len(graph.preds[i]) for i in graph.order}
     ready: List[int] = [i for i in graph.order if indegree[i] == 0]
     heapq.heapify(ready)
-    # (finish_time, step) for steps currently running.
+    # (finish_time, step, processor, start_time) for running steps; the
+    # heap orders by (finish_time, step), same tie-break as before the
+    # processor/start fields were carried along.
     running: List = []
+    free: List[int] = list(range(processors))
+    timeline: Optional[List[Tuple[int, int, int, int]]] = \
+        [] if keep_timeline else None
     clock = 0
     makespan = 0
     idle = processors
-    while ready or running:
-        while ready and idle > 0:
-            step = heapq.heappop(ready)
-            idle -= 1
-            heapq.heappush(running, (clock + graph.cost[step], step))
-        if not running:
-            break  # all remaining steps have unsatisfied preds: impossible
-        finish_time, step = heapq.heappop(running)
-        clock = finish_time
-        makespan = max(makespan, clock)
-        idle += 1
+
+    def complete(entry) -> None:
+        finish_time, step, proc, started = entry
+        heapq.heappush(free, proc)
+        if timeline is not None:
+            timeline.append((step, proc, started, finish_time))
         for succ in graph.succs.get(step, ()):
             indegree[succ] -= 1
             if indegree[succ] == 0:
                 heapq.heappush(ready, succ)
+
+    while ready or running:
+        while ready and idle > 0:
+            step = heapq.heappop(ready)
+            idle -= 1
+            proc = heapq.heappop(free)
+            heapq.heappush(running,
+                           (clock + graph.cost[step], step, proc, clock))
+        if not running:
+            break  # all remaining steps have unsatisfied preds: impossible
+        entry = heapq.heappop(running)
+        clock = entry[0]
+        makespan = max(makespan, clock)
+        idle += 1
+        complete(entry)
         # Drain everything else finishing at the same instant.
         while running and running[0][0] == clock:
-            _, other = heapq.heappop(running)
             idle += 1
-            for succ in graph.succs.get(other, ()):
-                indegree[succ] -= 1
-                if indegree[succ] == 0:
-                    heapq.heappush(ready, succ)
-    return ScheduleResult(processors, makespan, graph.work(), graph.span())
+            complete(heapq.heappop(running))
+    return ScheduleResult(processors, makespan, graph.work(), graph.span(),
+                          timeline=timeline)

@@ -432,4 +432,9 @@ class Parser:
 
 def parse(source: str, source_name: str = "<program>") -> ast.Program:
     """Parse mini-HJ ``source`` text into a :class:`Program`."""
-    return Parser(tokenize(source), source_name).parse_program()
+    from .. import telemetry
+
+    with telemetry.span("lex"):
+        tokens = tokenize(source)
+    with telemetry.span("parse"):
+        return Parser(tokens, source_name).parse_program()

@@ -172,4 +172,7 @@ def validate(program: ast.Program, builtin_names: Sequence[str] = (),
              require_main: bool = True) -> None:
     """Validate ``program``; raise :class:`ValidationError` on the first
     violation found."""
-    Validator(program, builtin_names).validate(require_main=require_main)
+    from .. import telemetry
+
+    with telemetry.span("validate"):
+        Validator(program, builtin_names).validate(require_main=require_main)

@@ -46,7 +46,8 @@ P_BAG = "P"
 class BagManager:
     """Union-find over int task keys with an S/P tag per set root."""
 
-    __slots__ = ("_parent", "_rank", "_ptag", "_pbag_rep", "clock")
+    __slots__ = ("_parent", "_rank", "_ptag", "_pbag_rep", "clock",
+                 "unions")
 
     def __init__(self) -> None:
         #: parent[i] == i for roots; lists grow on make_s_bag.
@@ -58,6 +59,9 @@ class BagManager:
         self._pbag_rep: Dict[Hashable, Optional[int]] = {}
         #: S/P transition counter (see module docstring).
         self.clock = 0
+        #: lifetime count of set merges — the telemetry layer harvests
+        #: this once per detection phase as ``detector.bag_unions``.
+        self.unions = 0
 
     # ------------------------------------------------------------------
     # Union-find core
@@ -77,6 +81,7 @@ class BagManager:
         if ra == rb:
             self._ptag[ra] = parallel
             return ra
+        self.unions += 1
         rank = self._rank
         if rank[ra] < rank[rb]:
             ra, rb = rb, ra

@@ -11,12 +11,31 @@ import gc
 import time
 from typing import Any, Optional, Sequence
 
+from .. import telemetry
 from ..dpst.builder import DetectorBase, DpstBuilder
 from ..dpst.tree import Dpst
 from ..lang import ast
 from ..runtime.interpreter import ExecutionResult, Interpreter
 from .esp import EspBagsDetector, make_detector
 from .report import RaceReport
+
+
+def _harvest_counters(execution: ExecutionResult, builder: DpstBuilder,
+                      detector, report: RaceReport) -> None:
+    """Copy the run's always-on aggregates into the active telemetry
+    session, once per detection.  The per-access observer path makes no
+    telemetry calls — these totals are maintained by the runtime anyway.
+    """
+    telemetry.counter("runtime.ops", execution.ops)
+    telemetry.counter("runtime.output_lines", len(execution.output))
+    telemetry.counter("dpst.nodes", builder._counter + 1)
+    telemetry.counter("detector.races", len(report))
+    accesses = getattr(detector, "monitored_accesses", None)
+    if accesses is not None:
+        telemetry.counter("detector.monitored_accesses", accesses)
+    bags = getattr(detector, "bags", None)
+    if bags is not None:
+        telemetry.counter("detector.bag_unions", bags.unions)
 
 
 class DetectionResult:
@@ -97,43 +116,55 @@ def detect_races(program: ast.Program, args: Sequence[Any] = (),
     if detector is None:
         detector = make_detector(algorithm)
     start = time.perf_counter()
-    builder = DpstBuilder(detector)
-    recorder = None
-    observer = builder
-    if record_trace:
-        from ..runtime.recorder import TraceRecorder
+    with telemetry.span("detect_races", algorithm=algorithm,
+                        record_trace=record_trace):
+        builder = DpstBuilder(detector)
+        recorder = None
+        observer = builder
+        if record_trace:
+            from ..runtime.recorder import TraceRecorder
 
-        recorder = TraceRecorder(builder)
-        observer = recorder
-    interp = Interpreter(program, observer, seed=seed, max_ops=max_ops,
-                         engine=engine)
-    # The run allocates large, long-lived graphs (S-DPST nodes, shadow
-    # entries) at a steady rate; with the cyclic collector enabled every
-    # generation-2 pass re-traverses the whole growing structure and can
-    # account for >20% of detection time.  Nothing here needs cycle
-    # collection mid-run, so pause it and let the caller's next natural
-    # collection reclaim any garbage afterwards.
-    gc_was_enabled = gc.isenabled()
-    if gc_was_enabled:
-        gc.disable()
-    try:
-        execution = interp.run(args)
-        dpst = builder.finish()
-    finally:
+            recorder = TraceRecorder(builder)
+            observer = recorder
+        interp = Interpreter(program, observer, seed=seed, max_ops=max_ops,
+                             engine=engine)
+        # The run allocates large, long-lived graphs (S-DPST nodes, shadow
+        # entries) at a steady rate; with the cyclic collector enabled every
+        # generation-2 pass re-traverses the whole growing structure and can
+        # account for >20% of detection time.  Nothing here needs cycle
+        # collection mid-run, so pause it and let the caller's next natural
+        # collection reclaim any garbage afterwards.
+        gc_was_enabled = gc.isenabled()
         if gc_was_enabled:
-            gc.enable()
-    if hasattr(detector, "report"):
-        report = detector.report()
-    elif hasattr(detector, "compute_report"):
-        report = detector.compute_report()
-    else:  # pragma: no cover - defensive
-        report = RaceReport([])
-    trace = None
-    if recorder is not None:
-        trace = recorder.trace()
-        trace.output = list(execution.output)
-        trace.ops = execution.ops
-        trace.value = execution.value
+            gc.disable()
+        try:
+            # The "execute" span covers the instrumented run; S-DPST
+            # construction and ESP-bags detection happen *inline* through
+            # the observer hooks, so their per-access cost is part of this
+            # span by design (separating them would require per-access
+            # timing, which the overhead policy forbids).  The "dpst" and
+            # "detect" spans cover the explicit finalization work.
+            with telemetry.span("execute", engine=interp.engine):
+                execution = interp.run(args)
+            with telemetry.span("dpst"):
+                dpst = builder.finish()
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        with telemetry.span("detect"):
+            if hasattr(detector, "report"):
+                report = detector.report()
+            elif hasattr(detector, "compute_report"):
+                report = detector.compute_report()
+            else:  # pragma: no cover - defensive
+                report = RaceReport([])
+        trace = None
+        if recorder is not None:
+            trace = recorder.trace()
+            trace.output = list(execution.output)
+            trace.ops = execution.ops
+            trace.value = execution.value
+        _harvest_counters(execution, builder, detector, report)
     elapsed = time.perf_counter() - start
     return DetectionResult(execution, dpst, report, detector, elapsed,
                            trace=trace)

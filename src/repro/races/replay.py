@@ -33,6 +33,7 @@ import gc
 import time
 from typing import Any, Dict, Optional, Tuple
 
+from .. import telemetry
 from ..dpst.builder import DpstBuilder
 from ..errors import ReplayError
 from ..lang import ast
@@ -135,6 +136,12 @@ def replay_detection(trace: ExecutionTrace, program: ast.Program,
     ``finish`` statements inserted (the repair engine's only edit); any
     other divergence raises :class:`~repro.errors.ReplayError`.
     """
+    with telemetry.span("replay", algorithm=algorithm):
+        return _replay_detection(trace, program, algorithm)
+
+
+def _replay_detection(trace: ExecutionTrace, program: ast.Program,
+                      algorithm: str) -> DetectionResult:
     start = time.perf_counter()
     detector = _make_replay_detector(algorithm, trace.addr_table)
     missing = trace.stmt_nids - {n.nid for n in ast.walk(program)}
@@ -279,6 +286,13 @@ def replay_detection(trace: ExecutionTrace, program: ast.Program,
     report = detector.report() if hasattr(detector, "report") \
         else RaceReport([])
     execution = ExecutionResult(list(trace.output), trace.ops, trace.value)
+    telemetry.counter("replay.events", n_events)
+    telemetry.counter("replay.accesses", n_accesses)
+    telemetry.counter("dpst.nodes", builder._counter + 1)
+    telemetry.counter("detector.races", len(report))
+    telemetry.counter("detector.monitored_accesses",
+                      detector.monitored_accesses)
+    telemetry.counter("detector.bag_unions", detector.bags.unions)
     elapsed = time.perf_counter() - start
     return DetectionResult(execution, dpst, report, detector, elapsed,
                            replayed=True)

@@ -30,6 +30,7 @@ import os
 import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from .. import telemetry
 from ..dpst.nodes import DpstNode
 from ..errors import RepairError, ReplayError
 from ..lang import ast, pretty
@@ -213,41 +214,57 @@ class RepairEngine:
     def repair(self, program: ast.Program,
                args: Sequence[Any] = ()) -> RepairResult:
         """Repair ``program`` for the single test input ``args``."""
+        with telemetry.span("repair", algorithm=self.algorithm):
+            return self._repair(program, args)
+
+    def _repair(self, program: ast.Program,
+                args: Sequence[Any]) -> RepairResult:
         work = clone_program(program)
         iterations: List[RepairIteration] = []
         previous_pairs: Optional[int] = None
         stalled = 0
         trace = None
         for iteration in range(self.max_iterations):
-            detection, trace = self._detect(work, args, trace)
-            if detection.report.is_race_free:
-                return RepairResult(program, work, iterations, detection,
-                                    converged=True)
-            pair_count = len(detection.report.distinct_step_pairs())
-            if previous_pairs is not None and pair_count >= previous_pairs:
-                stalled += 1
-                if stalled >= 2:
-                    raise RepairError(
-                        "repair is not making progress: the racing step-pair "
-                        f"count stayed at {pair_count} for {stalled + 1} "
-                        "iterations — the remaining races are not fixable by "
-                        "lexical finish insertion")
-            else:
-                stalled = 0
-            previous_pairs = pair_count
-            start = time.perf_counter()
-            step_pairs = self._step_pairs(detection)
-            placements, edits = self._compute_placements(
-                work, detection, step_pairs)
-            if not edits:
-                raise RepairError(
-                    "races remain but no finish placement was produced — "
-                    "the program cannot be repaired by finish insertion")
-            self._apply_edits(work, edits)
-            elapsed = time.perf_counter() - start
+            with telemetry.span("iteration", index=iteration) as it_span:
+                detection, trace = self._detect(work, args, trace)
+                if detection.report.is_race_free:
+                    it_span.annotate(races=0, converged=True)
+                    return RepairResult(program, work, iterations, detection,
+                                        converged=True)
+                pair_count = len(detection.report.distinct_step_pairs())
+                if previous_pairs is not None \
+                        and pair_count >= previous_pairs:
+                    stalled += 1
+                    if stalled >= 2:
+                        raise RepairError(
+                            "repair is not making progress: the racing "
+                            f"step-pair count stayed at {pair_count} for "
+                            f"{stalled + 1} iterations — the remaining "
+                            "races are not fixable by lexical finish "
+                            "insertion")
+                else:
+                    stalled = 0
+                previous_pairs = pair_count
+                start = time.perf_counter()
+                with telemetry.span("placement", index=iteration):
+                    step_pairs = self._step_pairs(detection)
+                    placements, edits = self._compute_placements(
+                        work, detection, step_pairs)
+                    if not edits:
+                        raise RepairError(
+                            "races remain but no finish placement was "
+                            "produced — the program cannot be repaired by "
+                            "finish insertion")
+                    self._apply_edits(work, edits)
+                elapsed = time.perf_counter() - start
+                telemetry.counter("repair.iterations")
+                telemetry.counter("repair.edits", len(edits))
+                it_span.annotate(races=len(detection.report),
+                                 edits=len(edits))
             iterations.append(RepairIteration(
                 iteration, detection, placements, edits, elapsed))
-        final, trace = self._detect(work, args, trace)
+        with telemetry.span("final_detection"):
+            final, trace = self._detect(work, args, trace)
         return RepairResult(program, work, iterations, final,
                             converged=final.report.is_race_free)
 
@@ -274,6 +291,7 @@ class RepairEngine:
                 # Fall back to re-execution; that run records a fresh
                 # trace of the current program, so replay resumes from a
                 # valid baseline on the next pass.
+                telemetry.counter("repair.replay_fallbacks")
                 trace = None
         detection = detect_races(work, args, algorithm=self.algorithm,
                                  seed=self.seed, max_ops=self.max_ops,

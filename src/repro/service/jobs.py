@@ -177,20 +177,30 @@ class JobResult:
     :meth:`repro.repair.engine.RepairResult.to_payload`); ``error``
     carries ``{category, message, line, column[, traceback]}`` on
     failure.  ``cached``/``coalesced`` record how the batch layer
-    satisfied the job without (fully) executing it.
+    satisfied the job without (fully) executing it.  ``timings`` maps
+    pipeline phase names to total seconds spent in that phase while the
+    job ran (from the per-job telemetry session) and ``counters`` holds
+    the session's runtime counters; both are ``None`` for cached,
+    coalesced and supervisor-assigned results.
     """
 
-    SCHEMA = 1
+    #: Bumped for the ``timings``/``counters`` fields (schema 2).  The
+    #: result cache includes this constant in its keys, so old stored
+    #: entries simply stop being hit — they are never mis-parsed.
+    SCHEMA = 2
 
     __slots__ = ("status", "kind", "source_name", "result", "error",
-                 "elapsed_s", "cached", "coalesced", "worker_pid")
+                 "elapsed_s", "cached", "coalesced", "worker_pid",
+                 "timings", "counters")
 
     def __init__(self, status: str, kind: str, source_name: str,
                  result: Optional[Dict[str, Any]] = None,
                  error: Optional[Dict[str, Any]] = None,
                  elapsed_s: float = 0.0, cached: bool = False,
                  coalesced: bool = False,
-                 worker_pid: Optional[int] = None) -> None:
+                 worker_pid: Optional[int] = None,
+                 timings: Optional[Dict[str, float]] = None,
+                 counters: Optional[Dict[str, int]] = None) -> None:
         if status not in STATUSES:
             raise ValueError(f"unknown status {status!r}")
         self.status = status
@@ -202,6 +212,8 @@ class JobResult:
         self.cached = cached
         self.coalesced = coalesced
         self.worker_pid = worker_pid
+        self.timings = timings
+        self.counters = counters
 
     # -- constructors --------------------------------------------------
 
@@ -263,6 +275,8 @@ class JobResult:
             "cached": self.cached,
             "coalesced": self.coalesced,
             "worker_pid": self.worker_pid,
+            "timings": self.timings,
+            "counters": self.counters,
         }
 
     @classmethod
@@ -276,7 +290,9 @@ class JobResult:
                    elapsed_s=data.get("elapsed_s", 0.0),
                    cached=data.get("cached", False),
                    coalesced=data.get("coalesced", False),
-                   worker_pid=data.get("worker_pid"))
+                   worker_pid=data.get("worker_pid"),
+                   timings=data.get("timings"),
+                   counters=data.get("counters"))
 
     def describe(self) -> str:
         """One human line, for batch progress output."""
@@ -308,6 +324,7 @@ def run_job(job: Job) -> JobResult:
     traceback.  Only a genuine process death (the pool's department)
     escapes this function.
     """
+    from .. import telemetry
     from ..lang import parse, serial_elision, strip_finishes, validate
     from ..runtime import (
         BUILTIN_NAMES,
@@ -322,6 +339,11 @@ def run_job(job: Job) -> JobResult:
     # reports; restart allocation so a warm worker process reports the
     # same addresses as a fresh single-shot invocation.
     reset_ids()
+    # Per-job telemetry session: phase timings and runtime counters are
+    # harvested into the result so the pool can aggregate them (the
+    # server's /metrics).  Installed per job — a warm worker never leaks
+    # one job's spans into the next.
+    tel = telemetry.TelemetrySession(f"job:{job.source_name}").install()
     try:
         if job.engine:
             set_default_engine(job.engine)
@@ -362,8 +384,13 @@ def run_job(job: Job) -> JobResult:
                 "speedup": schedule.speedup,
                 "parallelism": schedule.parallelism,
             }
-        return JobResult.ok(job, payload, time.perf_counter() - start)
+        outcome = JobResult.ok(job, payload, time.perf_counter() - start)
     except Exception as error:
-        return JobResult.failure(job, error, time.perf_counter() - start)
+        outcome = JobResult.failure(job, error, time.perf_counter() - start)
     finally:
+        tel.uninstall()
         set_default_engine(previous_engine)
+    outcome.timings = {name: round(total, 6)
+                       for name, total in tel.phase_totals().items()}
+    outcome.counters = tel.counters.as_dict()
+    return outcome

@@ -96,7 +96,7 @@ def _worker_main(conn_) -> None:
                 "error": {"category": "internal",
                           "message": f"worker dispatch failed: {error!r}"},
                 "elapsed_s": 0.0, "cached": False, "coalesced": False,
-                "worker_pid": None,
+                "worker_pid": None, "timings": None, "counters": None,
             }
         result["worker_pid"] = os.getpid()
         try:
@@ -135,7 +135,18 @@ class _WorkerHandle:
 
 
 class PoolStats:
-    """Aggregate counters the server's ``/stats`` endpoint exposes."""
+    """Aggregate counters the server's ``/stats`` and ``/metrics``
+    endpoints expose.
+
+    Mutated only under the owning pool's lock; readers must go through
+    :meth:`WorkerPool.stats_snapshot` / :meth:`WorkerPool.metrics_snapshot`
+    (or otherwise hold the pool lock) — the dicts and sample deques here
+    are not safe to iterate while a completion is being recorded.
+    """
+
+    #: retained phase-latency samples per phase (ring buffer); bounds a
+    #: long-lived server's memory while keeping p50/p95 meaningful.
+    MAX_PHASE_SAMPLES = 4096
 
     def __init__(self) -> None:
         self.submitted = 0
@@ -144,6 +155,14 @@ class PoolStats:
         self.coalesced = 0
         #: per-kind latency accumulators over executed (non-cached) jobs.
         self.latency: Dict[str, Dict[str, float]] = {}
+        #: phase name -> recent per-job latency samples (seconds), from
+        #: executed jobs' telemetry timings.
+        self.phases: Dict[str, deque] = {}
+        #: summed runtime counters across executed jobs' telemetry.
+        self.counters: Dict[str, int] = {}
+        self.worker_restarts = 0
+        self.worker_timeouts = 0
+        self.worker_crashes = 0
         self.started_at = time.monotonic()
 
     def record(self, result: JobResult) -> None:
@@ -157,6 +176,14 @@ class PoolStats:
                 result.kind, {"count": 0, "total_s": 0.0})
             entry["count"] += 1
             entry["total_s"] += result.elapsed_s
+            for phase, seconds in (result.timings or {}).items():
+                samples = self.phases.get(phase)
+                if samples is None:
+                    samples = self.phases[phase] = deque(
+                        maxlen=self.MAX_PHASE_SAMPLES)
+                samples.append(seconds)
+            for name, value in (result.counters or {}).items():
+                self.counters[name] = self.counters.get(name, 0) + value
 
     def to_dict(self) -> Dict[str, Any]:
         elapsed = max(time.monotonic() - self.started_at, 1e-9)
@@ -176,7 +203,19 @@ class PoolStats:
             "uptime_s": round(elapsed, 3),
             "jobs_per_sec": round(self.completed / elapsed, 3),
             "latency": latency,
+            "workers": {
+                "restarts": self.worker_restarts,
+                "timeouts": self.worker_timeouts,
+                "crashes": self.worker_crashes,
+            },
         }
+
+    def phases_dict(self) -> Dict[str, Dict[str, Any]]:
+        """Per-phase latency summaries (count/mean/p50/p95/max, ms)."""
+        from ..telemetry import summarize_samples
+
+        return {phase: summarize_samples(list(samples))
+                for phase, samples in sorted(self.phases.items())}
 
 
 class WorkerPool:
@@ -350,6 +389,56 @@ class WorkerPool:
                 remaining.discard(job_id)
                 yield job_id, self._jobs[job_id], result
 
+    # -- observability -------------------------------------------------
+
+    def stats_snapshot(self) -> Dict[str, Any]:
+        """A point-in-time copy of the pool statistics.
+
+        Taken under the pool lock: :meth:`PoolStats.record` runs with
+        the lock held from the completion path, so reading the stats
+        dicts without it races dictionary mutation (the HTTP ``/stats``
+        handler used to do exactly that).
+        """
+        with self._lock:
+            pool_stats = self.stats.to_dict()
+            pool_stats["workers"]["configured"] = self.workers
+            pool_stats["workers"]["alive"] = sum(
+                1 for h in self._handles if h.process.is_alive())
+            pool_stats["workers"]["busy"] = sum(
+                1 for h in self._handles if not h.idle)
+            snapshot: Dict[str, Any] = {"pool": pool_stats,
+                                        "workers": self.workers}
+            if self.cache is not None:
+                snapshot["cache"] = self.cache.stats.to_dict()
+                snapshot["cache"]["entries"] = len(self.cache)
+        return snapshot
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """Per-phase latency histograms plus runtime/cache/worker
+        counters — the ``/metrics`` payload.  Locked, like
+        :meth:`stats_snapshot`."""
+        with self._lock:
+            metrics: Dict[str, Any] = {
+                "phases": self.stats.phases_dict(),
+                "counters": dict(self.stats.counters),
+                "jobs": {
+                    "submitted": self.stats.submitted,
+                    "completed": self.stats.completed,
+                    "coalesced": self.stats.coalesced,
+                    "by_status": dict(self.stats.by_status),
+                },
+                "workers": {
+                    "configured": self.workers,
+                    "restarts": self.stats.worker_restarts,
+                    "timeouts": self.stats.worker_timeouts,
+                    "crashes": self.stats.worker_crashes,
+                },
+            }
+            if self.cache is not None:
+                metrics["cache"] = self.cache.stats.to_dict()
+                metrics["cache"]["entries"] = len(self.cache)
+        return metrics
+
     # -- internals -----------------------------------------------------
 
     def _spawn(self) -> _WorkerHandle:
@@ -422,6 +511,10 @@ class WorkerPool:
                 if not timed_out and not died:
                     continue
                 job_id = handle.job_id
+                if timed_out:
+                    self.stats.worker_timeouts += 1
+                else:
+                    self.stats.worker_crashes += 1
                 if timed_out and not died:
                     handle.process.kill()
                     handle.process.join(timeout=5.0)
@@ -443,6 +536,7 @@ class WorkerPool:
                 handle.conn.close()
                 if not self._stop.is_set():
                     self._handles[index] = self._spawn()
+                    self.stats.worker_restarts += 1
 
     def _finish(self, job_id: str, result: JobResult) -> None:
         """Record a completion; store it, publish it, fan out twins.

@@ -14,7 +14,20 @@ Three endpoints, JSON in and out:
 
 ``GET /stats``
     Pool throughput (jobs/sec, per-kind latency counters, status
-    counts) and cache effectiveness (hit rate, stores).
+    counts), worker health (alive/busy/restarts) and cache
+    effectiveness (hit rate, stores).
+
+``GET /metrics``
+    Telemetry aggregation: per-pipeline-phase latency histograms
+    (count, mean, p50, p95, max — from each executed job's telemetry
+    timings), summed runtime counters, cache hit/miss/store counts and
+    worker restart/timeout/crash counters.
+
+Both read endpoints take their snapshots under the pool lock — the
+completion path mutates the stats dicts with the lock held, so a
+lock-free read could observe a dict mid-resize.  Every response,
+including handler- and ``http.server``-generated errors, is JSON with
+an explicit ``Content-Length`` (keep-alive clients depend on it).
 
 The server is intentionally small — ``http.server`` from the standard
 library, threaded so slow pollers never block submissions; anything
@@ -66,6 +79,16 @@ class ServiceHandler(BaseHTTPRequestHandler):
     def _error(self, status: int, message: str) -> None:
         self._send_json(status, {"error": message})
 
+    def send_error(self, code: int, message: Optional[str] = None,
+                   explain: Optional[str] = None) -> None:
+        """Replace ``http.server``'s HTML error pages (malformed request
+        line, unsupported method, ...) with the same JSON-plus-explicit-
+        Content-Length shape every other response uses."""
+        short = message
+        if not short:
+            short, _ = self.responses.get(code, ("error", ""))
+        self._send_json(code, {"error": short})
+
     def _read_body(self) -> Optional[bytes]:
         length = int(self.headers.get("Content-Length") or 0)
         if length <= 0:
@@ -112,12 +135,10 @@ class ServiceHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - http.server naming
         path = self.path.rstrip("/") or "/"
         if path == "/stats":
-            stats = {"pool": self.pool.stats.to_dict(),
-                     "workers": self.pool.workers}
-            if self.pool.cache is not None:
-                stats["cache"] = self.pool.cache.stats.to_dict()
-                stats["cache"]["entries"] = len(self.pool.cache)
-            self._send_json(200, stats)
+            self._send_json(200, self.pool.stats_snapshot())
+            return
+        if path == "/metrics":
+            self._send_json(200, self.pool.metrics_snapshot())
             return
         if path.startswith("/jobs/"):
             job_id = path[len("/jobs/"):]

@@ -1,0 +1,70 @@
+"""Unified telemetry: pipeline spans, runtime counters, trace export.
+
+A zero-dependency observability layer for the whole stack (see DESIGN.md
+§9 "Telemetry"):
+
+* :mod:`~repro.telemetry.spans` — nestable wall/CPU phase spans with a
+  thread-safe session collector and a zero-allocation disabled path;
+* :mod:`~repro.telemetry.counters` — monotonic counters harvested once
+  per phase from aggregates the runtime already keeps (never fed from
+  per-access hot paths);
+* :mod:`~repro.telemetry.export` — text / JSON / Chrome ``trace_event``
+  renderers, the simulated-schedule exporter, and the trace validator.
+
+Typical use::
+
+    from repro import telemetry
+
+    with telemetry.session("profile") as tel:
+        result = repair_program(program, args)
+    print(telemetry.render_text(tel))
+    telemetry.write_chrome_trace(tel, "trace.json")
+
+Library code marks phases with ``telemetry.span("execute")`` and feeds
+aggregates with ``telemetry.counter("runtime.ops", n)``; both are no-ops
+(one truth test, no allocation) unless a session is active.
+"""
+
+from .counters import Counters
+from .export import (
+    PIPELINE_PID,
+    SCHEDULE_PID,
+    percentile,
+    render_text,
+    schedule_trace_events,
+    summarize_samples,
+    to_chrome_trace,
+    to_json,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from .spans import (
+    NOOP_SPAN,
+    Span,
+    TelemetrySession,
+    counter,
+    current_session,
+    session,
+    span,
+)
+
+__all__ = [
+    "Counters",
+    "Span",
+    "TelemetrySession",
+    "NOOP_SPAN",
+    "counter",
+    "current_session",
+    "session",
+    "span",
+    "render_text",
+    "to_json",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "schedule_trace_events",
+    "validate_chrome_trace",
+    "percentile",
+    "summarize_samples",
+    "PIPELINE_PID",
+    "SCHEDULE_PID",
+]

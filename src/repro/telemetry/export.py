@@ -1,0 +1,301 @@
+"""Renderers for a telemetry session: text, JSON, Chrome ``trace_event``.
+
+The Chrome trace format (one JSON object with a ``traceEvents`` array of
+complete-``"X"`` duration events, timestamps in microseconds) loads
+directly into ``chrome://tracing`` and https://ui.perfetto.dev, which is
+how the paper-style "where does the time go" questions get a visual
+answer without any plotting dependency.
+
+Two producers share the format:
+
+* :func:`to_chrome_trace` — the span tree of a
+  :class:`~repro.telemetry.spans.TelemetrySession` (one row per Python
+  thread, spans nested by time);
+* :func:`schedule_trace_events` — the simulated processor timeline of a
+  :class:`~repro.graph.schedule.ScheduleResult` (one row per simulated
+  processor, one slice per computation-graph step), which makes the
+  T1/T∞/T_P placement of ``repro measure`` visually inspectable.
+
+:func:`validate_chrome_trace` is the structural checker the test suite
+and the CI trace-validation job run against emitted documents.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from .spans import Span, TelemetrySession
+
+__all__ = [
+    "render_text",
+    "to_json",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "schedule_trace_events",
+    "validate_chrome_trace",
+    "percentile",
+    "summarize_samples",
+]
+
+
+# ----------------------------------------------------------------------
+# Sample statistics (shared by the pool's /metrics and the bench script)
+# ----------------------------------------------------------------------
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The ``q``-quantile (0..1) by linear interpolation; 0.0 if empty."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = q * (len(ordered) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+def summarize_samples(samples: Sequence[float]) -> Dict[str, Any]:
+    """The histogram summary shape used everywhere a duration
+    distribution is reported (``/metrics``, batch summaries, bench rows):
+    count, total, and p50/p95/max in milliseconds."""
+    if not samples:
+        return {"count": 0, "total_s": 0.0, "mean_ms": 0.0,
+                "p50_ms": 0.0, "p95_ms": 0.0, "max_ms": 0.0}
+    total = sum(samples)
+    return {
+        "count": len(samples),
+        "total_s": round(total, 6),
+        "mean_ms": round(total / len(samples) * 1000, 3),
+        "p50_ms": round(percentile(samples, 0.50) * 1000, 3),
+        "p95_ms": round(percentile(samples, 0.95) * 1000, 3),
+        "max_ms": round(max(samples) * 1000, 3),
+    }
+
+
+# ----------------------------------------------------------------------
+# Text and JSON
+# ----------------------------------------------------------------------
+
+def _render_span(span_: Span, depth: int, lines: List[str]) -> None:
+    flag = "  [raised]" if span_.error else ""
+    meta = ""
+    if span_.meta:
+        parts = ", ".join(f"{k}={v}" for k, v in sorted(span_.meta.items()))
+        meta = f"  ({parts})"
+    lines.append(f"{'  ' * depth}{span_.name:<{max(28 - 2 * depth, 8)}} "
+                 f"{span_.duration_s * 1000:9.2f} ms wall  "
+                 f"{span_.cpu_s * 1000:9.2f} ms cpu{meta}{flag}")
+    for child in span_.children:
+        _render_span(child, depth + 1, lines)
+
+
+def render_text(session: TelemetrySession, title: Optional[str] = None
+                ) -> str:
+    """A human-readable phase tree plus the counter table."""
+    lines: List[str] = [title or f"telemetry: {session.name}"]
+    for root in session.roots():
+        _render_span(root, 1, lines)
+    counters = session.counters.as_dict()
+    if counters:
+        lines.append("  counters:")
+        width = max(len(name) for name in counters)
+        for name in sorted(counters):
+            lines.append(f"    {name:<{width}}  {counters[name]:>14,}")
+    return "\n".join(lines)
+
+
+def to_json(session: TelemetrySession) -> Dict[str, Any]:
+    """A plain-data view of the whole session (spans + counters)."""
+    return {
+        "session": session.name,
+        "spans": [root.to_dict() for root in session.roots()],
+        "phase_totals_s": {name: round(total, 9) for name, total
+                           in sorted(session.phase_totals().items())},
+        "counters": session.counters.as_dict(),
+    }
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event
+# ----------------------------------------------------------------------
+
+#: pid used for pipeline spans in emitted traces.  The real os.getpid()
+#: would make traces non-deterministic across runs for no benefit — the
+#: trace describes one logical process.
+PIPELINE_PID = 1
+#: pid used for the simulated-schedule rows (a second "process" so
+#: Perfetto groups the processor timeline apart from the span tree).
+SCHEDULE_PID = 2
+
+
+def _span_events(span_: Span, pid: int, tid_of: Dict[int, int]
+                 ) -> List[Dict[str, Any]]:
+    tid = tid_of.setdefault(span_.thread_id, len(tid_of))
+    args: Dict[str, Any] = dict(span_.meta)
+    args["cpu_ms"] = round(span_.cpu_s * 1000, 3)
+    if span_.error:
+        args["error"] = True
+    event = {
+        "name": span_.name,
+        "cat": span_.category,
+        "ph": "X",
+        "ts": round(span_.start_s * 1e6, 3),
+        "dur": round(span_.duration_s * 1e6, 3),
+        "pid": pid,
+        "tid": tid,
+        "args": args,
+    }
+    events = [event]
+    for child in span_.children:
+        events.extend(_span_events(child, pid, tid_of))
+    return events
+
+
+def to_chrome_trace(session: TelemetrySession,
+                    extra_events: Optional[List[Dict[str, Any]]] = None
+                    ) -> Dict[str, Any]:
+    """The session as a Chrome ``trace_event`` JSON document.
+
+    ``extra_events`` (e.g. from :func:`schedule_trace_events`) are
+    appended verbatim, letting one file carry both the pipeline spans and
+    a simulated schedule.
+    """
+    tid_of: Dict[int, int] = {}
+    events: List[Dict[str, Any]] = [{
+        "name": "process_name", "ph": "M", "pid": PIPELINE_PID, "tid": 0,
+        "args": {"name": f"repro pipeline ({session.name})"},
+    }]
+    for root in session.roots():
+        events.extend(_span_events(root, PIPELINE_PID, tid_of))
+    end_ts = max((e["ts"] + e.get("dur", 0) for e in events
+                  if e["ph"] == "X"), default=0.0)
+    for name, value in sorted(session.counters.as_dict().items()):
+        events.append({
+            "name": name, "cat": "counters", "ph": "C",
+            "ts": round(end_ts, 3), "pid": PIPELINE_PID, "tid": 0,
+            "args": {"value": value},
+        })
+    if extra_events:
+        events.extend(extra_events)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "producer": "repro-telemetry",
+            "session": session.name,
+        },
+    }
+
+
+def write_chrome_trace(session: TelemetrySession, path: str,
+                       extra_events: Optional[List[Dict[str, Any]]] = None
+                       ) -> Dict[str, Any]:
+    """Serialize :func:`to_chrome_trace` to ``path``; returns the doc."""
+    document = to_chrome_trace(session, extra_events=extra_events)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return document
+
+
+def schedule_trace_events(schedule: "ScheduleResult",
+                          pid: int = SCHEDULE_PID) -> List[Dict[str, Any]]:
+    """Trace events for a simulated greedy schedule, one row per
+    processor.
+
+    Requires a schedule produced with ``keep_timeline=True``
+    (:func:`repro.graph.schedule.greedy_schedule`); simulated time units
+    map 1:1 to trace microseconds.
+    """
+    timeline = getattr(schedule, "timeline", None)
+    if timeline is None:
+        raise ValueError(
+            "schedule has no timeline; run greedy_schedule(..., "
+            "keep_timeline=True) (or measure_program(..., "
+            "keep_timeline=True)) to record one")
+    events: List[Dict[str, Any]] = [{
+        "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+        "args": {"name": f"simulated schedule (P={schedule.processors}, "
+                         f"T1={schedule.work}, Tinf={schedule.span}, "
+                         f"TP={schedule.makespan})"},
+    }]
+    used = sorted({proc for _, proc, _, _ in timeline})
+    for proc in used:
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": proc,
+            "args": {"name": f"processor {proc}"},
+        })
+    for step, proc, start, end in timeline:
+        events.append({
+            "name": f"step {step}",
+            "cat": "schedule",
+            "ph": "X",
+            "ts": float(start),
+            "dur": float(end - start),
+            "pid": pid,
+            "tid": proc,
+            "args": {"step": step, "cost": end - start},
+        })
+    return events
+
+
+# ----------------------------------------------------------------------
+# Validation (tests + CI)
+# ----------------------------------------------------------------------
+
+#: Known Trace Event Format phase letters (duration, complete, instant,
+#: counter, async, flow, metadata, sample, object, memory-dump, mark).
+_PHASES = frozenset("BEXiICPMSTFstfNODbnevR()")
+
+
+def validate_chrome_trace(document: Any) -> List[str]:
+    """Structural errors in a trace document (empty list = valid).
+
+    Checks the subset of the Trace Event Format contract that
+    ``chrome://tracing``/Perfetto require to load the file: a
+    ``traceEvents`` array whose members have a string ``name``, a known
+    ``ph``, numeric non-negative ``ts`` (and ``dur`` for ``X`` events),
+    and int-or-string ``pid``/``tid``; ``args`` must be a JSON object
+    when present — and the whole document must be JSON-serializable.
+    """
+    errors: List[str] = []
+    if not isinstance(document, dict):
+        return [f"document must be a JSON object, got {type(document).__name__}"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["document must contain a 'traceEvents' array"]
+    if not events:
+        errors.append("'traceEvents' is empty")
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        name = event.get("name")
+        if not isinstance(name, str) or not name:
+            errors.append(f"{where}: missing/empty 'name'")
+        ph = event.get("ph")
+        if not isinstance(ph, str) or ph not in _PHASES:
+            errors.append(f"{where}: bad phase {ph!r}")
+            continue
+        if ph != "M":  # metadata events need no timestamp
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                errors.append(f"{where}: bad 'ts' {ts!r}")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"{where}: bad 'dur' {dur!r}")
+        for key in ("pid", "tid"):
+            if key in event and not isinstance(event[key], (int, str)):
+                errors.append(f"{where}: bad {key!r} {event[key]!r}")
+        if "args" in event and not isinstance(event["args"], dict):
+            errors.append(f"{where}: 'args' must be an object")
+    try:
+        json.dumps(document)
+    except (TypeError, ValueError) as error:
+        errors.append(f"document is not JSON-serializable: {error}")
+    return errors

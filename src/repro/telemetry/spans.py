@@ -1,0 +1,306 @@
+"""Nestable wall/CPU spans with a thread-safe in-process collector.
+
+A *span* measures one pipeline phase: wall-clock (``perf_counter``) and
+CPU time (``process_time``) between entry and exit, with arbitrary
+JSON-serializable metadata.  Spans nest — a span opened while another is
+open on the same thread becomes its child — so one run yields a tree
+that mirrors the pipeline's phase structure (detect inside iteration
+inside repair, and so on).
+
+Collection is *session-scoped*: spans are recorded only while a
+:class:`TelemetrySession` is active (installed with :func:`session` or
+:meth:`TelemetrySession.install`).  With no active session, the
+module-level :func:`span` returns a shared no-op object and
+:func:`counter` returns immediately — one list truth-test each, no
+allocation — so instrumentation points are safe to leave in production
+code paths.  The per-access observer hot paths (``DpstBuilder.read`` /
+``write``, the detector ``on_read``/``on_write``) are deliberately *not*
+instrumented at all: counters for those are harvested once per phase
+from aggregates the runtime already maintains (op counts, monitored
+accesses, bag unions), so telemetry cost there is zero whether a session
+is active or not.
+
+Sessions stack (LIFO): the innermost active session collects.  Within a
+session, each thread keeps its own open-span stack (``threading.local``)
+and completed root spans are appended under a lock, so concurrent
+threads — e.g. HTTP handler threads of the batch service — can record
+spans into one session safely.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+from .counters import Counters
+
+__all__ = [
+    "Span",
+    "TelemetrySession",
+    "current_session",
+    "session",
+    "span",
+    "counter",
+]
+
+
+class Span:
+    """One completed (or in-flight) phase measurement."""
+
+    __slots__ = ("name", "category", "meta", "children", "thread_id",
+                 "start_s", "end_s", "cpu_start_s", "cpu_end_s", "error")
+
+    def __init__(self, name: str, category: str,
+                 meta: Optional[Dict[str, Any]] = None,
+                 thread_id: int = 0) -> None:
+        self.name = name
+        self.category = category
+        self.meta = meta or {}
+        self.children: List["Span"] = []
+        self.thread_id = thread_id
+        #: wall-clock endpoints, in the owning session's timebase
+        #: (``perf_counter`` seconds; the session records its origin so
+        #: exporters can emit relative timestamps).
+        self.start_s = 0.0
+        self.end_s = 0.0
+        self.cpu_start_s = 0.0
+        self.cpu_end_s = 0.0
+        #: True when the span body raised (the span still closed).
+        self.error = False
+
+    @property
+    def duration_s(self) -> float:
+        return max(self.end_s - self.start_s, 0.0)
+
+    @property
+    def cpu_s(self) -> float:
+        return max(self.cpu_end_s - self.cpu_start_s, 0.0)
+
+    @property
+    def self_s(self) -> float:
+        """Wall time not covered by child spans."""
+        return max(self.duration_s
+                   - sum(c.duration_s for c in self.children), 0.0)
+
+    def annotate(self, **meta: Any) -> "Span":
+        """Attach metadata after entry (chainable)."""
+        self.meta.update(meta)
+        return self
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, preorder."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "name": self.name,
+            "category": self.category,
+            "duration_s": round(self.duration_s, 9),
+            "cpu_s": round(self.cpu_s, 9),
+            "start_s": round(self.start_s, 9),
+        }
+        if self.meta:
+            data["meta"] = dict(self.meta)
+        if self.error:
+            data["error"] = True
+        if self.children:
+            data["children"] = [c.to_dict() for c in self.children]
+        return data
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.name!r}, {self.duration_s * 1000:.3f} ms, "
+                f"{len(self.children)} child(ren))")
+
+
+class _NoopSpan:
+    """Shared do-nothing span for the disabled path.
+
+    One module-level instance is returned by every :func:`span` call made
+    with no active session, so the disabled path allocates nothing.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *_exc: Any) -> bool:
+        return False
+
+    def annotate(self, **_meta: Any) -> "_NoopSpan":
+        return self
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class _SpanHandle:
+    """Context manager that opens/closes one :class:`Span` in a session."""
+
+    __slots__ = ("_session", "_span")
+
+    def __init__(self, session_: "TelemetrySession", span_: Span) -> None:
+        self._session = session_
+        self._span = span_
+
+    def __enter__(self) -> Span:
+        self._session._open(self._span)
+        self._span.start_s = time.perf_counter() - self._session.origin_s
+        self._span.cpu_start_s = time.process_time()
+        return self._span
+
+    def __exit__(self, exc_type: Any, _exc: Any, _tb: Any) -> bool:
+        # Close unconditionally: a phase that raises still records its
+        # duration (flagged), and the open-span stack stays balanced.
+        self._span.end_s = time.perf_counter() - self._session.origin_s
+        self._span.cpu_end_s = time.process_time()
+        if exc_type is not None:
+            self._span.error = True
+        self._session._close(self._span)
+        return False
+
+
+class TelemetrySession:
+    """Collects the spans and counters of one run.
+
+    Usually used through the module-level :func:`session` context
+    manager; long-lived embedders (the batch service's ``run_job``) may
+    ``install()``/``uninstall()`` explicitly.
+    """
+
+    def __init__(self, name: str = "run") -> None:
+        self.name = name
+        #: ``perf_counter`` value all span timestamps are relative to.
+        self.origin_s = time.perf_counter()
+        self.counters = Counters()
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._roots: List[Span] = []
+
+    # -- recording (called by _SpanHandle) -----------------------------
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _open(self, span_: Span) -> None:
+        stack = self._stack()
+        span_.thread_id = threading.get_ident()
+        if stack:
+            stack[-1].children.append(span_)
+        else:
+            with self._lock:
+                self._roots.append(span_)
+        stack.append(span_)
+
+    def _close(self, span_: Span) -> None:
+        stack = self._stack()
+        # Defensive: tolerate out-of-order exits instead of corrupting
+        # the stack (can only happen with hand-driven handles).
+        if span_ in stack:
+            while stack and stack[-1] is not span_:
+                stack.pop()
+            if stack:
+                stack.pop()
+
+    # -- public API ----------------------------------------------------
+
+    def span(self, name: str, category: str = "pipeline",
+             **meta: Any) -> _SpanHandle:
+        return _SpanHandle(self, Span(name, category, meta or None))
+
+    def roots(self) -> List[Span]:
+        """Completed (and in-flight) top-level spans, in start order."""
+        with self._lock:
+            return list(self._roots)
+
+    def all_spans(self) -> List[Span]:
+        spans: List[Span] = []
+        for root in self.roots():
+            spans.extend(root.walk())
+        return spans
+
+    def phase_totals(self) -> Dict[str, float]:
+        """Total wall-clock seconds per span name, over the whole tree.
+
+        This is the flat per-phase timing map recorded into
+        ``JobResult.timings`` and printed by ``--timings``; nesting means
+        the totals of a parent and its children overlap by design.
+        """
+        totals: Dict[str, float] = {}
+        for span_ in self.all_spans():
+            totals[span_.name] = totals.get(span_.name, 0.0) \
+                + span_.duration_s
+        return totals
+
+    def install(self) -> "TelemetrySession":
+        _active().append(self)
+        return self
+
+    def uninstall(self) -> None:
+        active = _active()
+        if self in active:
+            active.remove(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TelemetrySession({self.name!r}, {len(self._roots)} root(s))"
+
+
+# ----------------------------------------------------------------------
+# The active-session stack
+# ----------------------------------------------------------------------
+
+# One stack per *process*; sessions are cheap and short-lived (one per
+# CLI invocation or batch job).  The stack is only pushed/popped at
+# session boundaries, so plain list operations are safe enough for the
+# embedding patterns we support (workers install around one job at a
+# time; the CLI installs once per command).
+_ACTIVE: List[TelemetrySession] = []
+
+
+def _active() -> List[TelemetrySession]:
+    return _ACTIVE
+
+
+def current_session() -> Optional[TelemetrySession]:
+    """The innermost active session, or ``None`` (telemetry disabled)."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+@contextmanager
+def session(name: str = "run") -> Iterator[TelemetrySession]:
+    """Activate a fresh collecting session for the ``with`` body."""
+    sess = TelemetrySession(name).install()
+    try:
+        yield sess
+    finally:
+        sess.uninstall()
+
+
+def span(name: str, category: str = "pipeline", **meta: Any):
+    """A span context manager in the current session, or a shared no-op.
+
+    The disabled path is one truth test and returns a module singleton:
+    zero allocations, so instrumentation points cost nothing when no
+    session is active.
+    """
+    if not _ACTIVE:
+        return NOOP_SPAN
+    return _ACTIVE[-1].span(name, category, **meta)
+
+
+def counter(name: str, n: int = 1) -> None:
+    """Add ``n`` to counter ``name`` in the current session (no-op when
+    disabled).  Call this once per phase with harvested aggregates, never
+    from per-access hot paths."""
+    if not _ACTIVE:
+        return
+    _ACTIVE[-1].counters.inc(name, n)

@@ -177,7 +177,7 @@ class TestJsonMode:
         code = main(["detect", racy_file, "--json"])
         payload = json.loads(capsys.readouterr().out)
         assert code == 1
-        assert payload["schema"] == 1
+        assert payload["schema"] == 2
         assert payload["status"] == "ok"
         assert payload["kind"] == "detect"
         assert payload["result"]["race_count"] == 1
@@ -277,3 +277,95 @@ class TestBatch:
         empty.mkdir()
         assert main(["batch", str(empty)]) == 2
         assert "no .hj files" in capsys.readouterr().err
+
+
+class TestTimings:
+    def test_detect_timings_tree_on_stderr(self, racy_file, capsys):
+        code = main(["detect", racy_file, "--timings"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "1 data race(s)" in captured.out
+        err = captured.err
+        assert f"telemetry: detect:{racy_file}" in err
+        for phase in ("lex", "parse", "validate", "detect_races",
+                      "execute", "dpst"):
+            assert phase in err, phase
+        assert "counters:" in err and "detector.races" in err
+
+    def test_repair_timings_includes_placement(self, racy_file, capsys):
+        code = main(["repair", racy_file, "--timings"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "finish" in captured.out  # repaired source still on stdout
+        assert "placement" in captured.err
+        assert "repair.iterations" in captured.err
+
+    def test_detect_without_timings_prints_no_tree(self, racy_file, capsys):
+        main(["detect", racy_file])
+        assert "telemetry:" not in capsys.readouterr().err
+
+
+class TestProfile:
+    def test_profile_writes_valid_chrome_trace(self, racy_file, tmp_path,
+                                               capsys):
+        from repro.telemetry import validate_chrome_trace
+
+        trace = tmp_path / "trace.json"
+        code = main(["profile", racy_file, "--trace-out", str(trace)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert f"telemetry: profile:{racy_file}" in captured.out
+        assert str(trace) in captured.err
+        doc = json.loads(trace.read_text())
+        assert validate_chrome_trace(doc) == []
+        names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert {"execute", "dpst", "detect", "placement"} <= names
+
+    def test_profile_detect_kind(self, racy_file, capsys):
+        code = main(["profile", racy_file, "--kind", "detect"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "detect_races" in out and "placement" not in out
+
+    def test_profile_measure_adds_schedule_process(self, clean_file,
+                                                   tmp_path):
+        from repro.telemetry import PIPELINE_PID, SCHEDULE_PID, \
+            validate_chrome_trace
+
+        trace = tmp_path / "measure.json"
+        code = main(["profile", clean_file, "--kind", "measure",
+                     "--processors", "2", "--trace-out", str(trace)])
+        assert code == 0
+        doc = json.loads(trace.read_text())
+        assert validate_chrome_trace(doc) == []
+        pids = {e["pid"] for e in doc["traceEvents"]}
+        assert {PIPELINE_PID, SCHEDULE_PID} <= pids
+
+    def test_profile_without_trace_out_writes_nothing(self, racy_file,
+                                                      tmp_path, capsys):
+        code = main(["profile", racy_file, "--kind", "detect"])
+        assert code == 0
+        # Only the fixture's source file — no trace file appeared.
+        assert [p.name for p in tmp_path.iterdir()] == ["racy.hj"]
+
+    def test_profile_bad_file_is_diagnosed(self, tmp_path, capsys):
+        bad = tmp_path / "bad.hj"
+        bad.write_text("def main( {")
+        code = main(["profile", str(bad)])
+        assert code == 2
+        assert "syntax error" in capsys.readouterr().err
+
+
+class TestBatchPhaseSummary:
+    def test_batch_prints_phase_table(self, tmp_path, capsys):
+        for index in range(3):
+            (tmp_path / f"p{index}.hj").write_text(
+                RACY.replace("x = 1", f"x = {index + 2}"))
+        code = main(["batch", str(tmp_path), "--kind", "detect",
+                     "--no-cache"])
+        err = capsys.readouterr().err
+        assert code == 0  # detect jobs succeed even when races are found
+        assert "phase latency over executed jobs:" in err
+        assert "detect_races" in err
+        header = [line for line in err.splitlines() if "p50 ms" in line]
+        assert header and "p95 ms" in header[0]

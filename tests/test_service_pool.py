@@ -243,3 +243,72 @@ class TestPoolApi:
         assert stats["coalesced"] == 1
         assert stats["latency"]["detect"]["count"] >= 1
         assert stats["jobs_per_sec"] > 0
+
+
+class TestPoolTelemetry:
+    def test_phase_histograms_and_snapshots(self):
+        cache = ResultCache()
+        with WorkerPool(workers=2, cache=cache) as pool:
+            for _ in pool.run([Job("repair", RACY, source_name="a.hj"),
+                               Job("repair", _variant(1),
+                                   source_name="b.hj")]):
+                pass
+            stats = pool.stats_snapshot()
+            metrics = pool.metrics_snapshot()
+        # /stats shape: pool + workers + cache, workers enriched.
+        assert stats["workers"] == 2
+        assert stats["pool"]["completed"] == 2
+        assert stats["pool"]["workers"]["configured"] == 2
+        assert stats["pool"]["workers"]["restarts"] == 0
+        assert stats["cache"]["entries"] >= 1
+        # /metrics shape: per-phase summaries from job timings.
+        phases = metrics["phases"]
+        assert "detect_races" in phases and "placement" in phases
+        entry = phases["detect_races"]
+        assert entry["count"] == 2
+        assert entry["max_ms"] >= entry["p95_ms"] >= entry["p50_ms"] > 0
+        assert metrics["counters"]["repair.iterations"] >= 2
+        assert metrics["jobs"]["completed"] == 2
+        assert metrics["cache"]["misses"] >= 2
+
+    def test_cached_results_do_not_skew_histograms(self):
+        cache = ResultCache()
+        with WorkerPool(workers=1, cache=cache) as pool:
+            for _ in pool.run([Job("detect", RACY, source_name="a.hj")]):
+                pass
+            first = pool.metrics_snapshot()["phases"]["detect_races"]["count"]
+            for _ in pool.run([Job("detect", RACY, source_name="b.hj")]):
+                pass
+            second = pool.metrics_snapshot()["phases"]["detect_races"]["count"]
+        assert first == 1
+        assert second == 1  # the cache hit contributed no sample
+
+    def test_timeout_increments_worker_counters(self):
+        with WorkerPool(workers=1) as pool:
+            pool.submit(Job("detect", SLOW, timeout_s=0.5))
+            item = pool.next_completed(timeout=30.0)
+            assert item is not None and item[1].status == "timeout"
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                metrics = pool.metrics_snapshot()
+                if metrics["workers"]["restarts"] >= 1:
+                    break
+                time.sleep(0.05)
+        assert metrics["workers"]["timeouts"] == 1
+        assert metrics["workers"]["restarts"] >= 1
+        assert metrics["workers"]["crashes"] == 0
+
+    def test_phase_sample_ring_is_bounded(self):
+        from repro.service.pool import PoolStats
+        from repro.service.jobs import JobResult
+
+        stats = PoolStats()
+        for index in range(PoolStats.MAX_PHASE_SAMPLES + 50):
+            result = JobResult("ok", "detect", f"s{index}.hj", result={},
+                               elapsed_s=0.001,
+                               timings={"detect_races": 0.001})
+            stats.record(result)
+        samples = stats.phases["detect_races"]
+        assert len(samples) == PoolStats.MAX_PHASE_SAMPLES
+        assert stats.phases_dict()["detect_races"]["count"] \
+            == PoolStats.MAX_PHASE_SAMPLES

@@ -153,3 +153,72 @@ class TestHttpErrors:
                                          {"jobs": []})
         assert code == 400
         assert "at least one job" in reply["error"]
+
+
+class TestMetricsEndpoint:
+    def test_metrics_shape_after_jobs(self, server):
+        _, reply = _post(server, "/jobs",
+                         {"kind": "repair", "source": RACY,
+                          "source_name": "metrics.hj"})
+        _poll_done(server, reply["ids"][0])
+        status, metrics = _get(server, "/metrics")
+        assert status == 200
+        phases = metrics["phases"]
+        assert "detect_races" in phases
+        entry = phases["detect_races"]
+        for key in ("count", "mean_ms", "p50_ms", "p95_ms", "max_ms",
+                    "total_s"):
+            assert key in entry, key
+        assert entry["count"] >= 1
+        assert entry["max_ms"] >= entry["p95_ms"] >= entry["p50_ms"] > 0
+        assert metrics["counters"].get("runtime.ops", 0) > 0
+        assert metrics["jobs"]["completed"] >= 1
+        for key in ("restarts", "timeouts", "crashes", "configured"):
+            assert key in metrics["workers"], key
+        assert "hits" in metrics["cache"]
+        assert "entries" in metrics["cache"]
+
+    def test_job_results_carry_timings_over_http(self, server):
+        _, reply = _post(server, "/jobs",
+                         {"kind": "detect", "source": RACY,
+                          "source_name": "timed.hj"})
+        result = _poll_done(server, reply["ids"][0])["result"]
+        assert result["schema"] == 2
+        assert "execute" in result["timings"]
+        assert result["counters"]["detector.races"] >= 1
+
+
+class TestContentLength:
+    def _raw(self, server, method, path, body=None):
+        import http.client
+
+        host, port = server.address
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            conn.request(method, path, body=body)
+            reply = conn.getresponse()
+            payload = reply.read()
+            return reply.status, reply.getheader("Content-Length"), payload
+        finally:
+            conn.close()
+
+    def test_success_responses_declare_length(self, server):
+        for path in ("/stats", "/metrics"):
+            status, length, payload = self._raw(server, "GET", path)
+            assert status == 200
+            assert length is not None and int(length) == len(payload)
+
+    def test_handler_errors_declare_length(self, server):
+        status, length, payload = self._raw(server, "GET", "/nope")
+        assert status == 404
+        assert length is not None and int(length) == len(payload)
+        assert json.loads(payload)["error"]
+
+    def test_http_server_errors_are_json_with_length(self, server):
+        # An unsupported method never reaches do_GET/do_POST: the base
+        # class answers through send_error, which must also emit JSON
+        # with an explicit Content-Length.
+        status, length, payload = self._raw(server, "PUT", "/jobs")
+        assert status == 501
+        assert length is not None and int(length) == len(payload)
+        assert "error" in json.loads(payload)

@@ -1,0 +1,350 @@
+"""The telemetry layer: spans, counters, exporters, and the overhead
+contract (no per-access instrumentation, a shared no-op when disabled)."""
+
+import json
+import threading
+
+import pytest
+
+from repro import telemetry
+from repro.lang import parse
+from repro.races import detect_races
+from repro.repair import repair_program
+from repro.telemetry import (
+    NOOP_SPAN,
+    Counters,
+    TelemetrySession,
+    percentile,
+    render_text,
+    schedule_trace_events,
+    summarize_samples,
+    to_chrome_trace,
+    to_json,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+RACY = """
+var x = 0;
+def main() {
+    async { x = 1; }
+    print(x);
+}
+"""
+
+LOOPY = """
+def main(n) {
+    var a = new int[n];
+    async {
+        for (var i = 0; i < n; i = i + 1) {
+            a[i] = i * 3;
+        }
+    }
+    var s = 0;
+    for (var i = 0; i < n; i = i + 1) {
+        s = s + a[i];
+    }
+    print(s);
+}
+"""
+
+
+class TestSpans:
+    def test_nesting_mirrors_with_blocks(self):
+        with telemetry.session("t") as tel:
+            with telemetry.span("outer"):
+                with telemetry.span("inner-1"):
+                    pass
+                with telemetry.span("inner-2", detail=7):
+                    pass
+        roots = tel.roots()
+        assert [r.name for r in roots] == ["outer"]
+        assert [c.name for c in roots[0].children] == ["inner-1", "inner-2"]
+        assert roots[0].children[1].meta == {"detail": 7}
+        assert roots[0].duration_s >= sum(
+            c.duration_s for c in roots[0].children)
+
+    def test_exception_closes_span_and_flags_it(self):
+        with telemetry.session("t") as tel:
+            with pytest.raises(RuntimeError):
+                with telemetry.span("outer"):
+                    with telemetry.span("boom"):
+                        raise RuntimeError("phase failed")
+            # The stack is balanced again: new spans land at the root.
+            with telemetry.span("after"):
+                pass
+        outer, after = tel.roots()
+        assert outer.error and outer.children[0].error
+        assert outer.end_s >= outer.children[0].end_s
+        assert after.name == "after" and not after.error
+
+    def test_annotate_is_chainable(self):
+        with telemetry.session("t") as tel:
+            with telemetry.span("phase") as sp:
+                sp.annotate(races=3).annotate(converged=True)
+        assert tel.roots()[0].meta == {"races": 3, "converged": True}
+
+    def test_phase_totals_sums_same_name(self):
+        with telemetry.session("t") as tel:
+            for _ in range(3):
+                with telemetry.span("iteration"):
+                    pass
+        totals = tel.phase_totals()
+        assert set(totals) == {"iteration"}
+        assert totals["iteration"] >= 0.0
+
+    def test_threads_record_into_one_session(self):
+        barrier = threading.Barrier(8)
+        with telemetry.session("t") as tel:
+            def work():
+                barrier.wait(timeout=10)  # all alive at once: distinct ids
+                with telemetry.span("worker-span"):
+                    pass
+            threads = [threading.Thread(target=work) for _ in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        names = [s.name for s in tel.all_spans()]
+        assert names.count("worker-span") == 8
+        assert len({s.thread_id for s in tel.roots()}) == 8
+
+
+class TestDisabledPath:
+    def test_span_returns_shared_noop_singleton(self):
+        assert telemetry.current_session() is None
+        assert telemetry.span("a") is NOOP_SPAN
+        assert telemetry.span("b", category="x", k=1) is NOOP_SPAN
+        with telemetry.span("c") as noop:
+            assert noop is NOOP_SPAN
+            assert noop.annotate(anything=1) is NOOP_SPAN
+
+    def test_counter_is_noop_without_session(self):
+        telemetry.counter("nobody.listens", 41)  # must not raise
+
+    def test_sessions_stack_innermost_collects(self):
+        with telemetry.session("outer") as outer:
+            with telemetry.session("inner") as inner:
+                with telemetry.span("phase"):
+                    pass
+            with telemetry.span("outer-phase"):
+                pass
+        assert [s.name for s in inner.roots()] == ["phase"]
+        assert [s.name for s in outer.roots()] == ["outer-phase"]
+
+
+class TestCounters:
+    def test_inc_merge_max_and_views(self):
+        counters = Counters()
+        counters.inc("a")
+        counters.inc("a", 4)
+        counters.set_max("b", 3)
+        counters.set_max("b", 2)
+        other = Counters()
+        other.inc("a", 10)
+        other.inc("c", 1)
+        counters.merge(other)
+        assert counters["a"] == 15
+        assert counters.get("b") == 3
+        assert "c" in counters and counters.get("missing", -1) == -1
+        assert counters.as_dict() == {"a": 15, "b": 3, "c": 1}
+        assert len(counters) == 3 and set(counters) == {"a", "b", "c"}
+
+    def test_detection_harvest_is_o1_not_per_access(self, monkeypatch):
+        """The overhead policy: detection makes a small constant number
+        of telemetry.counter calls, however many accesses it monitors."""
+        calls = []
+        real_counter = telemetry.counter
+        monkeypatch.setattr(telemetry, "counter",
+                            lambda name, n=1: (calls.append(name),
+                                               real_counter(name, n)))
+        program = parse(LOOPY)
+        with telemetry.session("t") as tel:
+            result = detect_races(program, (200,))
+        accesses = result.detector.monitored_accesses
+        assert accesses > 400  # plenty of per-access work happened ...
+        assert len(calls) <= 8  # ... and O(1) counter calls recorded it
+        assert tel.counters["detector.monitored_accesses"] == accesses
+        assert tel.counters["runtime.ops"] == result.execution.ops
+
+    def test_detection_produces_expected_counters(self):
+        with telemetry.session("t") as tel:
+            detect_races(parse(RACY))
+        counters = tel.counters.as_dict()
+        for name in ("runtime.ops", "dpst.nodes", "detector.races",
+                     "detector.monitored_accesses", "detector.bag_unions"):
+            assert name in counters, name
+        assert counters["detector.races"] > 0
+
+
+class TestPipelineSpans:
+    def test_repair_span_tree_has_every_phase(self):
+        with telemetry.session("t") as tel:
+            result = repair_program(parse(RACY))
+        assert result.converged
+        names = {s.name for s in tel.all_spans()}
+        for phase in ("lex", "parse", "repair", "iteration",
+                      "detect_races", "execute", "dpst", "detect",
+                      "placement"):
+            assert phase in names, phase
+        counters = tel.counters.as_dict()
+        assert counters["repair.iterations"] >= 1
+        assert counters["repair.edits"] >= 1
+
+    def test_measure_span_tree(self):
+        from repro.graph import measure_program
+
+        with telemetry.session("t") as tel:
+            measure_program(parse(RACY), processors=4)
+        names = {s.name for s in tel.all_spans()}
+        assert {"measure", "execute", "dpst", "graph",
+                "schedule"} <= names
+        assert tel.counters["schedule.steps"] > 0
+
+
+class TestStatistics:
+    def test_percentile_interpolates(self):
+        samples = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(samples, 0.0) == 1.0
+        assert percentile(samples, 1.0) == 4.0
+        assert percentile(samples, 0.5) == pytest.approx(2.5)
+        assert percentile([], 0.5) == 0.0
+        assert percentile([7.0], 0.95) == 7.0
+
+    def test_summarize_samples_shape(self):
+        summary = summarize_samples([0.010, 0.020, 0.030])
+        assert summary["count"] == 3
+        assert summary["mean_ms"] == pytest.approx(20.0)
+        assert summary["p50_ms"] == pytest.approx(20.0)
+        assert summary["max_ms"] == pytest.approx(30.0)
+        assert summarize_samples([])["count"] == 0
+
+
+class TestExporters:
+    def _session(self):
+        with telemetry.session("export-test") as tel:
+            with telemetry.span("repair"):
+                with telemetry.span("detect_races", algorithm="mrw"):
+                    pass
+            telemetry.counter("detector.races", 5)
+        return tel
+
+    def test_render_text(self):
+        text = render_text(self._session())
+        assert "telemetry: export-test" in text
+        assert "detect_races" in text and "ms wall" in text
+        assert "detector.races" in text
+
+    def test_to_json_round_trips(self):
+        doc = to_json(self._session())
+        again = json.loads(json.dumps(doc))
+        assert again["session"] == "export-test"
+        assert again["spans"][0]["children"][0]["name"] == "detect_races"
+        assert again["counters"]["detector.races"] == 5
+        assert "repair" in again["phase_totals_s"]
+
+    def test_chrome_trace_is_valid_and_complete(self):
+        doc = to_chrome_trace(self._session())
+        assert validate_chrome_trace(doc) == []
+        by_phase = {}
+        for event in doc["traceEvents"]:
+            by_phase.setdefault(event["ph"], []).append(event)
+        assert {e["name"] for e in by_phase["X"]} == {"repair",
+                                                      "detect_races"}
+        assert by_phase["C"][0]["args"]["value"] == 5
+        assert any(e["name"] == "process_name" for e in by_phase["M"])
+
+    def test_write_chrome_trace_loads_back(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(self._session(), str(path))
+        loaded = json.loads(path.read_text())
+        assert validate_chrome_trace(loaded) == []
+
+    def test_validator_rejects_malformed_documents(self):
+        assert validate_chrome_trace([]) != []
+        assert validate_chrome_trace({}) != []
+        assert validate_chrome_trace({"traceEvents": [{}]}) != []
+        bad_ph = {"traceEvents": [
+            {"name": "x", "ph": "q", "ts": 0.0, "pid": 1, "tid": 0}]}
+        assert any("phase" in e for e in validate_chrome_trace(bad_ph))
+        bad_ts = {"traceEvents": [
+            {"name": "x", "ph": "X", "ts": -1, "dur": 1,
+             "pid": 1, "tid": 0}]}
+        assert any("'ts'" in e for e in validate_chrome_trace(bad_ts))
+        unserializable = {"traceEvents": [
+            {"name": "x", "ph": "M", "pid": 1, "tid": 0,
+             "args": {"bad": object()}}]}
+        assert any("serializable" in e
+                   for e in validate_chrome_trace(unserializable))
+
+
+class TestScheduleExport:
+    def test_schedule_events_one_row_per_processor(self):
+        from repro.graph import measure_program
+
+        schedule = measure_program(parse(RACY), processors=2,
+                                   keep_timeline=True)
+        events = schedule_trace_events(schedule)
+        doc = {"traceEvents": events}
+        assert validate_chrome_trace(doc) == []
+        slices = [e for e in events if e["ph"] == "X"]
+        assert len(slices) == len(schedule.timeline)
+        # Every slice sits on a declared processor row and total slice
+        # duration equals the schedule's work.
+        rows = {e["tid"] for e in events if e["name"] == "thread_name"}
+        assert {s["tid"] for s in slices} <= rows
+        assert sum(s["dur"] for s in slices) == schedule.work
+
+    def test_timeline_requires_keep_timeline(self):
+        from repro.graph import measure_program
+
+        schedule = measure_program(parse(RACY), processors=2)
+        assert schedule.timeline is None
+        with pytest.raises(ValueError, match="keep_timeline"):
+            schedule_trace_events(schedule)
+
+    def test_timeline_is_consistent_with_makespan(self):
+        from repro.graph import measure_program
+
+        schedule = measure_program(parse(LOOPY), (20,), processors=3,
+                                   keep_timeline=True)
+        assert schedule.timeline
+        assert max(end for _, _, _, end in schedule.timeline) \
+            == schedule.makespan
+        # No two slices on one processor overlap.
+        by_proc = {}
+        for _, proc, start, end in schedule.timeline:
+            by_proc.setdefault(proc, []).append((start, end))
+        for intervals in by_proc.values():
+            intervals.sort()
+            for (_, prev_end), (next_start, _) in zip(intervals,
+                                                      intervals[1:]):
+                assert next_start >= prev_end
+
+
+class TestJobTelemetry:
+    def test_run_job_attaches_timings_and_counters(self):
+        from repro.service import Job, run_job
+
+        result = run_job(Job("repair", RACY))
+        assert result.status == "ok"
+        assert "detect_races" in result.timings
+        assert "placement" in result.timings
+        assert result.counters["repair.iterations"] >= 1
+        # And the fields round-trip through the wire format.
+        again = type(result).from_dict(result.to_dict())
+        assert again.timings == result.timings
+        assert again.counters == result.counters
+
+    def test_failed_job_still_reports_phases(self):
+        from repro.service import Job, run_job
+
+        result = run_job(Job("detect", "def main() { boom(); }"))
+        assert result.status == "error"
+        assert "parse" in result.timings
+
+    def test_run_job_leaves_no_active_session(self):
+        from repro.service import Job, run_job
+
+        run_job(Job("detect", RACY))
+        assert telemetry.current_session() is None

@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""CI gate: the array detection core must be bit-identical to the object core.
+
+For every workload in the gate corpus — the Table-1 benchmark programs
+(finish-stripped, CI-sized inputs) plus the synthetic student corpus —
+this script runs race detection under both detection cores and both
+ESP-bags variants (``mrw`` and ``srw``), with the numpy batch filter
+forced off (``REPRO_NUMPY=0``, the stdlib path) and forced on
+(``REPRO_NUMPY=1``), and requires every configuration of one workload to
+produce the *same normalized race report*:
+
+* same races (kind, address, source/sink step indices, task labels),
+* same race count and monitored-access count,
+* same S-DPST node count.
+
+Addresses are normalized to first-seen order before comparison (array
+and struct ids are allocated from process-wide counters, so raw ids
+differ between back-to-back runs of the same program).
+
+Exit status is nonzero on the first mismatch, with a diff-style dump of
+the disagreeing reports.  Run from the repo root::
+
+    PYTHONPATH=src python scripts/arraycore_ci.py
+    PYTHONPATH=src python scripts/arraycore_ci.py --skip-students  # faster
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench.students import population_sources          # noqa: E402
+from repro.bench.suite import BENCHMARK_ORDER, get_benchmark  # noqa: E402
+from repro.lang import parse, strip_finishes                 # noqa: E402
+from repro.races import detect_races                         # noqa: E402
+
+DETECTORS = ("mrw", "srw")
+#: (cell label, detect_races core argument, REPRO_NUMPY value).
+CELLS = (
+    ("object", "object", "0"),
+    ("array-stdlib", "array", "0"),
+    ("array-numpy", "array", "1"),
+)
+#: argument for every student-corpus entry point (matches the batch CI).
+STUDENT_ARGS = (40,)
+
+
+def normalized_report(result) -> tuple:
+    """A cross-run-comparable view of one detection result.
+
+    Mirrors the bench harness's arraycore digest: addresses renamed to
+    first-seen order, races identified by (kind, address, source/sink
+    step index, task labels).
+    """
+    names: dict = {}
+    races = []
+    for race in result.report:
+        owner = names.setdefault((race.addr[0], race.addr[1]), len(names))
+        races.append((race.kind,
+                      (race.addr[0], owner) + tuple(race.addr[2:]),
+                      race.source.index, race.sink.index,
+                      race.source_task, race.sink_task))
+    return (tuple(races),
+            result.detector.monitored_accesses,
+            result.dpst_node_count)
+
+
+def check_workload(label: str, program, args, detectors,
+                   verbose: bool) -> list:
+    """Detect under every (detector, cell) configuration; return a list
+    of mismatch descriptions (empty = the gate holds for this workload)."""
+    failures = []
+    for detector in detectors:
+        reports = {}
+        for cell, core, numpy_env in CELLS:
+            os.environ["REPRO_NUMPY"] = numpy_env
+            try:
+                result = detect_races(program, args, algorithm=detector,
+                                      core=core)
+            finally:
+                os.environ.pop("REPRO_NUMPY", None)
+            reports[cell] = normalized_report(result)
+        baseline = reports["object"]
+        for cell, _, _ in CELLS[1:]:
+            if reports[cell] != baseline:
+                failures.append(
+                    f"{label} [{detector}] {cell} != object:\n"
+                    f"  object: {baseline!r}\n"
+                    f"  {cell}: {reports[cell]!r}")
+        if verbose and not failures:
+            races, accesses, nodes = baseline
+            print(f"  {label:32s} [{detector}] ok: {len(races)} race(s), "
+                  f"{accesses} access(es), {nodes} node(s)")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--skip-students", action="store_true",
+                        help="gate only the benchmark programs")
+    parser.add_argument("--detectors", nargs="*", default=list(DETECTORS),
+                        choices=DETECTORS)
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="print one line per workload")
+    options = parser.parse_args(argv)
+
+    failures = []
+    checked = 0
+    print("arraycore differential gate: object core vs array core "
+          "(stdlib + numpy batch filters)")
+    print(f"benchmark programs ({len(BENCHMARK_ORDER)}):")
+    for name in BENCHMARK_ORDER:
+        spec = get_benchmark(name)
+        program = strip_finishes(spec.parse())
+        failures += check_workload(name, program, spec.test_args,
+                                   options.detectors, options.verbose)
+        checked += 1
+    if not options.skip_students:
+        sources = population_sources()
+        print(f"student corpus ({len(sources)}):")
+        for name, source in sources:
+            program = parse(source, source_name=name)
+            failures += check_workload(name, program, STUDENT_ARGS,
+                                       options.detectors, options.verbose)
+            checked += 1
+
+    configs = len(options.detectors) * len(CELLS)
+    print(f"checked {checked} workload(s) x {configs} configuration(s): "
+          f"{len(failures)} mismatch(es)")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,7 +6,15 @@ Phases, per benchmark program:
 * ``execute`` — a plain uninstrumented run (the Table-3 baseline),
   under both execution engines.
 * ``detect``  — full race detection (execution + S-DPST construction +
-  ESP-bags) on the finish-stripped variant, under both engines.
+  ESP-bags) on the finish-stripped variant, under both engines (on the
+  process-default detection core).
+* ``arraycore`` — detection-core comparison on the finish-stripped
+  variant (compiled engine): the object core vs the array core with the
+  stdlib batch filter (``REPRO_NUMPY=0``) vs the array core with the
+  numpy batch filter (``REPRO_NUMPY=1``).  Each cell also records a
+  normalized race-report digest; the three cells of a (program,
+  detector) pair must be identical (the script exits nonzero
+  otherwise — the bench doubles as a differential gate).
 * ``repair``  — the end-to-end repair loop (Table-2 style), with the
   trace-replay fast path on vs off.  Replay records iteration 0 and
   re-detects iterations 1..k and the confirming run from the trace
@@ -48,7 +56,7 @@ summaries per phase.
 
 Usage::
 
-    PYTHONPATH=src python scripts/bench.py               # full, writes BENCH_pr5.json
+    PYTHONPATH=src python scripts/bench.py               # full, writes BENCH_pr6.json
     PYTHONPATH=src python scripts/bench.py --quick       # tiny inputs, 1 trial, stdout only
     PYTHONPATH=src python scripts/bench.py --phases repair --programs crypt stress-nested
 """
@@ -70,8 +78,15 @@ from repro.bench.suite import BENCHMARK_ORDER, get_benchmark  # noqa: E402
 
 DETECTORS = ("mrw", "srw")
 ENGINES = ("tree", "compiled")
-PHASES = ("execute", "detect", "repair", "batch")
+PHASES = ("execute", "detect", "arraycore", "repair", "batch")
 BATCH_WORKERS = (1, 2, 4, 8)
+#: detection-core cells of the ``arraycore`` phase: label -> (core
+#: argument for detect_races, REPRO_NUMPY environment value).
+CORE_CELLS = {
+    "object": ("object", "0"),
+    "array": ("array", "0"),
+    "array-numpy": ("array", "1"),
+}
 
 # ----------------------------------------------------------------------
 # Multi-iteration repair workloads.
@@ -256,6 +271,42 @@ def _measure_child(options: argparse.Namespace) -> int:
         }
         print(json.dumps(record))
         return 0
+    if options.phase == "arraycore":
+        from repro.lang import strip_finishes
+        from repro.races import detect_races
+
+        core, numpy_env = CORE_CELLS[options.core]
+        os.environ["REPRO_NUMPY"] = numpy_env
+        spec = get_benchmark(options.program)
+        args = spec.test_args if options.args == "test" \
+            else spec.repair_args
+        program = strip_finishes(spec.parse())
+        with telemetry.session("bench:arraycore") as tel:
+            result = detect_races(program, args,
+                                  algorithm=options.detector, core=core)
+        # Normalized report signature (addresses renamed to first-seen
+        # order): the driver requires all cells of one (program,
+        # detector) pair to agree, making the bench a differential gate.
+        names: dict = {}
+        sig = []
+        for race in result.report:
+            owner = names.setdefault((race.addr[0], race.addr[1]),
+                                     len(names))
+            sig.append((race.kind,
+                        (race.addr[0], owner) + tuple(race.addr[2:]),
+                        race.source.index, race.sink.index,
+                        race.source_task, race.sink_task))
+        record = {"wall_time_s": _session_wall_s(tel),
+                  "ops": result.execution.ops,
+                  "monitored_accesses":
+                      result.detector.monitored_accesses,
+                  "races": result.race_count,
+                  "dpst_nodes": result.dpst_node_count,
+                  "report_sha256": hashlib.sha256(
+                      repr(sig).encode("utf-8")).hexdigest(),
+                  "phases": _session_phases(tel)}
+        print(json.dumps(record))
+        return 0
     spec = get_benchmark(options.program)
     args = spec.test_args if options.args == "test" else spec.repair_args
     program = spec.parse()
@@ -315,6 +366,25 @@ def _run_cell(program: str, phase: str, engine: str, detector: str,
     if "ops" in best:
         row["ops_per_sec"] = round(best["ops"] / wall) if wall > 0 else None
     row["wall_time_s"] = round(wall, 4)
+    return row
+
+
+def _run_core_cell(program: str, detector: str, core: str,
+                   args_kind: str, trials: int) -> dict:
+    """Best-of-N fresh-process detection runs of one core cell."""
+    cmd = [sys.executable, os.path.abspath(__file__), "--_measure",
+           "--program", program, "--phase", "arraycore",
+           "--detector", detector, "--core", core, "--args", args_kind]
+    best = None
+    for _ in range(trials):
+        out = subprocess.run(cmd, capture_output=True, text=True, check=True)
+        record = json.loads(out.stdout.strip().splitlines()[-1])
+        if best is None or record["wall_time_s"] < best["wall_time_s"]:
+            best = record
+    row = {"program": program, "phase": "arraycore", "detector": detector,
+           "core": core, "args": args_kind}
+    row.update(best)
+    row["wall_time_s"] = round(row["wall_time_s"], 4)
     return row
 
 
@@ -385,7 +455,7 @@ def _speedup_summary(rows: list) -> dict:
     """Median tree/compiled speedup per (phase, detector) configuration."""
     cells = {}
     for row in rows:
-        if row["phase"] in ("repair", "batch"):
+        if row["phase"] in ("arraycore", "repair", "batch"):
             continue
         key = (row["program"], row["phase"], row["detector"])
         cells.setdefault(key, {})[row["engine"]] = row["wall_time_s"]
@@ -405,6 +475,46 @@ def _speedup_summary(rows: list) -> dict:
             "median_speedup": round(
                 statistics.median(per_program.values()), 2),
         }
+    return summary
+
+
+def _arraycore_summary(rows: list) -> dict:
+    """Object-core vs array-core comparison per detector, plus the
+    bit-identical-report invariant the driver enforces."""
+    cells = {}
+    for row in rows:
+        if row["phase"] != "arraycore":
+            continue
+        key = (row["program"], row["detector"])
+        cells.setdefault(key, {})[row["core"]] = row
+    per_detector = {}
+    for (program, detector), by_core in sorted(cells.items()):
+        if "object" not in by_core:
+            continue
+        base = by_core["object"]["wall_time_s"]
+        entry = {"object_ms": round(base * 1000.0, 1),
+                 "reports_match": len({r["report_sha256"]
+                                       for r in by_core.values()}) == 1}
+        for core in ("array", "array-numpy"):
+            row = by_core.get(core)
+            if row and row["wall_time_s"] > 0:
+                entry[f"{core}_ms"] = round(row["wall_time_s"] * 1000.0, 1)
+                entry[f"{core}_speedup"] = round(
+                    base / row["wall_time_s"], 2)
+        per_detector.setdefault(detector, {})[program] = entry
+    summary = {}
+    for detector, per_program in per_detector.items():
+        block = {"per_program": per_program,
+                 "all_reports_match": all(e["reports_match"]
+                                          for e in per_program.values())}
+        for core in ("array", "array-numpy"):
+            speedups = [e[f"{core}_speedup"]
+                        for e in per_program.values()
+                        if f"{core}_speedup" in e]
+            if speedups:
+                block[f"median_speedup_{core.replace('-', '_')}"] = \
+                    round(statistics.median(speedups), 2)
+        summary[f"arraycore_{detector}"] = block
     return summary
 
 
@@ -477,7 +587,7 @@ def main(argv=None) -> int:
                         help="detectors for the repair phase (default: mrw, "
                              "the paper's Table-2 configuration)")
     parser.add_argument("--output", default=None,
-                        help="output JSON path (default: BENCH_pr5.json "
+                        help="output JSON path (default: BENCH_pr6.json "
                              "next to the repo root; suppressed by --quick)")
     # Internal: one measurement in a fresh process.
     parser.add_argument("--_measure", action="store_true",
@@ -488,6 +598,7 @@ def main(argv=None) -> int:
     parser.add_argument("--detector", help=argparse.SUPPRESS)
     parser.add_argument("--args", default="repair", help=argparse.SUPPRESS)
     parser.add_argument("--replay", default="off", help=argparse.SUPPRESS)
+    parser.add_argument("--core", default="object", help=argparse.SUPPRESS)
     parser.add_argument("--workers", type=int, default=1,
                         help=argparse.SUPPRESS)
     parser.add_argument("--cache", default="off", help=argparse.SUPPRESS)
@@ -521,6 +632,18 @@ def main(argv=None) -> int:
                           f"{row['wall_time_s'] * 1000:9.1f} ms  "
                           f"{row['ops_per_sec'] or 0:>12,} ops/s",
                           file=sys.stderr)
+    if "arraycore" in options.phases:
+        for program in programs:
+            for detector in options.detectors:
+                for core in CORE_CELLS:
+                    row = _run_core_cell(program, detector, core,
+                                         args_kind, trials)
+                    rows.append(row)
+                    print(f"{program:14s} arraycore[{detector}] "
+                          f"{core:12s} "
+                          f"{row['wall_time_s'] * 1000:9.1f} ms  "
+                          f"{row['races']} race(s)",
+                          file=sys.stderr)
     if "repair" in options.phases:
         for program in repair_programs:
             for detector in options.repair_detectors:
@@ -548,14 +671,17 @@ def main(argv=None) -> int:
                       file=sys.stderr)
 
     summary = _speedup_summary(rows)
+    summary.update(_arraycore_summary(rows))
     summary.update(_repair_summary(rows))
     summary.update(_batch_summary(rows))
     document = {
         "meta": {
             "suite": "Table 1 (paper benchmark programs) plus stress-* "
                      "multi-iteration repair workloads; execute = original "
-                     "program, detect/repair = finish-stripped (racy) "
-                     "variant as in the repair loop; batch = the student "
+                     "program, detect/arraycore/repair = finish-stripped "
+                     "(racy) variant as in the repair loop; arraycore = "
+                     "object core vs array core (stdlib and numpy batch "
+                     "filters) on the compiled engine; batch = the student "
                      "corpus (repro.bench.students) through the worker "
                      "pool at 1/2/4/8 workers, cache off/on",
             "cpu_count": os.cpu_count(),
@@ -581,6 +707,16 @@ def main(argv=None) -> int:
         if "median_speedup" in data:
             print(f"median speedup (compiled vs tree) {config}: "
                   f"{data['median_speedup']}x", file=sys.stderr)
+        if config.startswith("arraycore_"):
+            print(f"median detect speedup (array core vs object core) "
+                  f"{config}: stdlib="
+                  f"{data.get('median_speedup_array')}x, numpy="
+                  f"{data.get('median_speedup_array_numpy')}x",
+                  file=sys.stderr)
+            if not data["all_reports_match"]:
+                failures.append(
+                    f"{config}: array-core and object-core race "
+                    "reports differ")
         if config.startswith("repair_"):
             print(f"median repair speedup (replay vs re-execution) "
                   f"{config}: {data['median_repair_speedup']}x; "
@@ -604,7 +740,7 @@ def main(argv=None) -> int:
     output = options.output
     if output is None and not options.quick:
         output = os.path.join(os.path.dirname(__file__), "..",
-                              "BENCH_pr5.json")
+                              "BENCH_pr6.json")
     if output:
         with open(output, "w", encoding="utf-8") as handle:
             json.dump(document, handle, indent=2, sort_keys=True)

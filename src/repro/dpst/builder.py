@@ -79,6 +79,15 @@ class DpstBuilder(ExecutionObserver):
         """
         return self._task_stack[-1]
 
+    def node_count(self) -> int:
+        """Total S-DPST nodes created so far, including the root.
+
+        Node indices are allocated densely in creation order, so this is
+        an O(1) read — telemetry harvesting uses it instead of walking
+        the finished tree.
+        """
+        return self._counter + 1
+
     def _new_node(self, kind: str, **kwargs) -> DpstNode:
         self._counter += 1
         parent = self._stack[-1]

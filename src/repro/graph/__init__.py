@@ -43,5 +43,5 @@ def measure_program(program: ast.Program, args: Sequence[Any] = (),
             schedule = greedy_schedule(graph, processors,
                                        keep_timeline=keep_timeline)
         telemetry.counter("schedule.steps", len(graph.order))
-        telemetry.counter("dpst.nodes", builder._counter + 1)
+        telemetry.counter("dpst.nodes", builder.node_count())
     return schedule

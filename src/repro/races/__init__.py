@@ -1,7 +1,12 @@
 """Dynamic data-race detection: ESP-bags (SRW and MRW) and the MHP oracle."""
 
+from .arraycore import (
+    ArrayMrwDetector,
+    ArraySrwDetector,
+    run_arraycore,
+)
 from .bags import BagManager, P_BAG, S_BAG
-from .detect import DetectionResult, detect_races
+from .detect import CORES, DetectionResult, default_core, detect_races
 from .esp import (
     EspBagsDetector,
     MrwEspBagsDetector,
@@ -27,6 +32,11 @@ __all__ = [
     "make_detector",
     "OracleDetector",
     "VectorClockDetector",
+    "ArrayMrwDetector",
+    "ArraySrwDetector",
+    "run_arraycore",
+    "CORES",
+    "default_core",
     "DetectionResult",
     "detect_races",
     "replay_detection",

@@ -3,11 +3,29 @@
 This is the "Data Race Detection" box of Figure 6: run the program
 sequentially on the test input, build the S-DPST, and collect the race
 set with the selected ESP-bags variant.
+
+Two detection cores implement that box:
+
+* the **array core** (default) — the run's observer stream is buffered
+  into the packed trace encoding as it executes, then S-DPST maintenance
+  and bag transitions run over the flat arrays in batch
+  (:mod:`repro.races.arraycore`);
+* the **object core** — the classic inline path
+  (:class:`~repro.dpst.builder.DpstBuilder` +
+  :class:`~repro.races.esp.EspBagsDetector`), kept for custom detectors
+  (e.g. the MHP oracle), non-ESP algorithms, and as the differential
+  baseline the array core is checked against.
+
+Both produce bit-identical :class:`~repro.races.report.RaceReport`s and
+S-DPSTs.  ``core="object"``/``core="array"`` selects per call; the
+``REPRO_ARRAYCORE`` environment variable (``0``/``off``/``object`` vs
+``1``/``on``/``array``) sets the process default.
 """
 
 from __future__ import annotations
 
 import gc
+import os
 import time
 from typing import Any, Optional, Sequence
 
@@ -19,8 +37,19 @@ from ..runtime.interpreter import ExecutionResult, Interpreter
 from .esp import EspBagsDetector, make_detector
 from .report import RaceReport
 
+#: the detection cores ``detect_races`` can run.
+CORES = ("array", "object")
 
-def _harvest_counters(execution: ExecutionResult, builder: DpstBuilder,
+
+def default_core() -> str:
+    """The process-default detection core, honoring ``REPRO_ARRAYCORE``."""
+    env = os.environ.get("REPRO_ARRAYCORE", "").strip().lower()
+    if env in ("0", "off", "false", "no", "object"):
+        return "object"
+    return "array"
+
+
+def _harvest_counters(execution: ExecutionResult, node_count: int,
                       detector, report: RaceReport) -> None:
     """Copy the run's always-on aggregates into the active telemetry
     session, once per detection.  The per-access observer path makes no
@@ -28,7 +57,7 @@ def _harvest_counters(execution: ExecutionResult, builder: DpstBuilder,
     """
     telemetry.counter("runtime.ops", execution.ops)
     telemetry.counter("runtime.output_lines", len(execution.output))
-    telemetry.counter("dpst.nodes", builder._counter + 1)
+    telemetry.counter("dpst.nodes", node_count)
     telemetry.counter("detector.races", len(report))
     accesses = getattr(detector, "monitored_accesses", None)
     if accesses is not None:
@@ -41,11 +70,16 @@ def _harvest_counters(execution: ExecutionResult, builder: DpstBuilder,
 class DetectionResult:
     """Everything one instrumented execution produced."""
 
-    def __init__(self, execution: ExecutionResult, dpst: Dpst,
+    def __init__(self, execution: ExecutionResult, dpst,
                  report: RaceReport, detector: DetectorBase,
-                 elapsed_s: float, trace=None, replayed: bool = False) -> None:
+                 elapsed_s: float, trace=None, replayed: bool = False,
+                 node_count: Optional[int] = None) -> None:
         self.execution = execution
-        self.dpst = dpst
+        #: a :class:`~repro.dpst.tree.Dpst`, or a zero-arg factory for
+        #: one — the array core defers tree materialization until a
+        #: consumer actually asks (``.dpst``), so race-free confirming
+        #: runs never build node objects at all.
+        self._dpst = dpst
         self.report = report
         self.detector = detector
         #: wall-clock seconds for instrumented execution + detection +
@@ -56,6 +90,18 @@ class DetectionResult:
         self.trace = trace
         #: True when this result came from trace replay, not execution.
         self.replayed = replayed
+        self._node_count = node_count
+
+    @property
+    def dpst(self) -> Dpst:
+        dpst = self._dpst
+        if not isinstance(dpst, Dpst):
+            dpst = self._dpst = dpst()
+        return dpst
+
+    @dpst.setter
+    def dpst(self, value) -> None:
+        self._dpst = value
 
     @property
     def race_count(self) -> int:
@@ -63,26 +109,26 @@ class DetectionResult:
 
     @property
     def dpst_node_count(self) -> int:
+        if self._node_count is not None:
+            return self._node_count
         return self.dpst.node_count()
 
     def to_payload(self) -> dict:
         """A plain-data view of the detection: JSON-serializable and
         picklable, for the batch service and the CLI ``--json`` mode.
 
-        The ``races`` rows are the trace-file rows of
-        :meth:`~repro.races.report.RaceReport.to_trace_json`, so every
-        consumer of race reports — CLI, HTTP API, trace files — shares
-        one schema.
+        The ``races`` rows are
+        :meth:`~repro.races.report.RaceReport.to_rows` — the same rows
+        ``to_trace_json`` serializes, so every consumer of race reports
+        (CLI, HTTP API, trace files) shares one schema.
         """
-        import json as _json
-
         return {
             "race_free": self.report.is_race_free,
             "race_count": len(self.report),
             "distinct_step_pairs": len(self.report.distinct_step_pairs()),
             "counts_by_kind": self.report.counts_by_kind(),
             "summary": self.report.summary(),
-            "races": _json.loads(self.report.to_trace_json())["races"],
+            "races": self.report.to_rows(),
             "dpst_node_count": self.dpst_node_count,
             "ops": self.execution.ops,
             "elapsed_s": self.elapsed_s,
@@ -100,7 +146,8 @@ def detect_races(program: ast.Program, args: Sequence[Any] = (),
                  seed: int = 20140609,
                  max_ops: int = 200_000_000,
                  engine: Optional[str] = None,
-                 record_trace: bool = False) -> DetectionResult:
+                 record_trace: bool = False,
+                 core: Optional[str] = None) -> DetectionResult:
     """Run ``main(*args)`` sequentially and report all data races.
 
     ``algorithm`` selects ``"mrw"`` (default, complete in one run) or
@@ -108,16 +155,29 @@ def detect_races(program: ast.Program, args: Sequence[Any] = (),
     instead pass a pre-built ``detector`` (e.g. the MHP oracle).
     ``engine`` picks the execution engine (``"tree"``/``"compiled"``);
     ``None`` uses the process default — both engines produce identical
-    race reports.  With ``record_trace=True`` the run additionally
-    records an execution trace (``result.trace``) that
+    race reports.  ``core`` picks the detection core (``"array"``/
+    ``"object"``, see the module docstring); ``None`` uses the process
+    default, and a custom ``detector`` or a non-ESP ``algorithm`` always
+    runs on the object core.  With ``record_trace=True`` the run
+    additionally records an execution trace (``result.trace``) that
     :func:`~repro.races.replay.replay_detection` can re-detect from after
     finish insertions, without re-executing the program.
     """
+    if core is not None and core not in CORES:
+        raise ValueError(f"unknown detection core {core!r}; "
+                         f"expected one of {CORES}")
+    if detector is None and algorithm in ("mrw", "srw"):
+        chosen = core or default_core()
+    else:
+        chosen = "object"
+    if chosen == "array":
+        return _detect_races_array(program, args, algorithm, seed,
+                                   max_ops, engine, record_trace)
     if detector is None:
         detector = make_detector(algorithm)
     start = time.perf_counter()
     with telemetry.span("detect_races", algorithm=algorithm,
-                        record_trace=record_trace):
+                        record_trace=record_trace, core="object"):
         builder = DpstBuilder(detector)
         recorder = None
         observer = builder
@@ -164,7 +224,59 @@ def detect_races(program: ast.Program, args: Sequence[Any] = (),
             trace.output = list(execution.output)
             trace.ops = execution.ops
             trace.value = execution.value
-        _harvest_counters(execution, builder, detector, report)
+        _harvest_counters(execution, builder.node_count(), detector, report)
     elapsed = time.perf_counter() - start
     return DetectionResult(execution, dpst, report, detector, elapsed,
                            trace=trace)
+
+
+def _detect_races_array(program: ast.Program, args: Sequence[Any],
+                        algorithm: str, seed: int, max_ops: int,
+                        engine: Optional[str],
+                        record_trace: bool) -> DetectionResult:
+    """The array-core detection path: buffer the observer stream into
+    the packed encoding during the run, then detect over it in batch."""
+    from ..runtime.recorder import TraceBuffer
+    from .arraycore import run_arraycore, warm_numpy
+
+    # Import numpy (if enabled) before the clock starts: the one-time
+    # import cost is process setup, not detection work.
+    warm_numpy()
+    start = time.perf_counter()
+    with telemetry.span("detect_races", algorithm=algorithm,
+                        record_trace=record_trace, core="array"):
+        buffer = TraceBuffer()
+        interp = Interpreter(program, buffer, seed=seed, max_ops=max_ops,
+                             engine=engine)
+        # Same GC rationale as the object path; the buffer only appends
+        # to flat lists, but the batch pass allocates the long-lived
+        # shadow summaries.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            with telemetry.span("execute", engine=interp.engine):
+                execution = interp.run(args)
+            trace = buffer.trace()
+            with telemetry.span("detect"):
+                run = run_arraycore(trace, algorithm)
+            with telemetry.span("dpst"):
+                # Materializes only the step nodes the races touch (the
+                # report needs their identities); the full tree stays a
+                # deferred factory on the result either way, reusing
+                # those nodes when a consumer asks for it.
+                report = run.report()
+                dpst = run.dpst_handle()
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        kept = None
+        if record_trace:
+            trace.output = list(execution.output)
+            trace.ops = execution.ops
+            trace.value = execution.value
+            kept = trace
+        _harvest_counters(execution, run.node_count, run.detector, report)
+    elapsed = time.perf_counter() - start
+    return DetectionResult(execution, dpst, report, run.detector, elapsed,
+                           trace=kept, node_count=run.node_count)

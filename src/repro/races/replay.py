@@ -19,79 +19,27 @@ statically-known points:
   bracket is subtracted from the next recorded flushes so every step's
   total cost lands exactly where a real re-execution would put it.
 
-The replay loop drives the real :class:`~repro.dpst.builder.DpstBuilder`
-for all structural bookkeeping (bit-identical trees by construction) but
-bypasses the per-access builder fast path: within one segment (the
-accesses between two control events) the step and anchor cannot change,
-so a single ``add_cost`` call does the bookkeeping once and the inner
-loop is nothing but detector calls over the int-coded access arrays.
+This module computes the splice map (:func:`_injection_chains`) and
+validates the edit; the batch consumption of the spliced stream is the
+shared array core (:func:`~repro.races.arraycore.run_arraycore`) — replay
+is simply its second producer, next to the live first run of
+``detect_races``.
 """
 
 from __future__ import annotations
 
-import gc
 import time
-from typing import Any, Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 from .. import telemetry
-from ..dpst.builder import DpstBuilder
 from ..errors import ReplayError
 from ..lang import ast
 from ..runtime.interpreter import ExecutionResult
-from ..runtime.recorder import (
-    ExecutionTrace,
-    K_AT,
-    K_ENTER_ASYNC,
-    K_ENTER_FINISH,
-    K_ENTER_SCOPE,
-    K_EXIT_ASYNC,
-    K_EXIT_FINISH,
-    K_EXIT_SCOPE,
-)
+from ..runtime.recorder import ExecutionTrace
+from .arraycore import run_arraycore
 from .detect import DetectionResult
-from .esp import MrwEspBagsDetector, SrwEspBagsDetector
-from .report import RaceReport
 
 _EMPTY: Tuple[ast.FinishStmt, ...] = ()
-
-
-class _ReplaySrwDetector(SrwEspBagsDetector):
-    """SRW ESP-bags over int-coded addresses.
-
-    The shadow dicts key on the trace's dense address ids (cheaper to
-    hash than the runtime's addr tuples); only when a race is *recorded*
-    is the id translated back, so reports are bit-identical to a
-    re-execution run.
-    """
-
-    def __init__(self, addr_table) -> None:
-        super().__init__()
-        self._addr_table = addr_table
-
-    def _record(self, prior, addr, kind, step, node, sink_task=None) -> None:
-        super()._record(prior, self._addr_table[addr], kind, step, node,
-                        sink_task)
-
-
-class _ReplayMrwDetector(MrwEspBagsDetector):
-    """MRW ESP-bags over int-coded addresses (see _ReplaySrwDetector)."""
-
-    def __init__(self, addr_table) -> None:
-        super().__init__()
-        self._addr_table = addr_table
-
-    def _record(self, prior, addr, kind, step, node, sink_task=None) -> None:
-        super()._record(prior, self._addr_table[addr], kind, step, node,
-                        sink_task)
-
-
-def _make_replay_detector(algorithm: str, addr_table):
-    if algorithm == "srw":
-        return _ReplaySrwDetector(addr_table)
-    if algorithm == "mrw":
-        return _ReplayMrwDetector(addr_table)
-    raise ReplayError(
-        f"replay supports the 'srw' and 'mrw' detectors, not {algorithm!r}")
 
 
 def _injection_chains(program: ast.Program, recorded_finish_nids
@@ -143,7 +91,10 @@ def replay_detection(trace: ExecutionTrace, program: ast.Program,
 def _replay_detection(trace: ExecutionTrace, program: ast.Program,
                       algorithm: str) -> DetectionResult:
     start = time.perf_counter()
-    detector = _make_replay_detector(algorithm, trace.addr_table)
+    if algorithm not in ("srw", "mrw"):
+        raise ReplayError(
+            f"replay supports the 'srw' and 'mrw' detectors, "
+            f"not {algorithm!r}")
     missing = trace.stmt_nids - {n.nid for n in ast.walk(program)}
     if missing:
         raise ReplayError(
@@ -151,148 +102,18 @@ def _replay_detection(trace: ExecutionTrace, program: ast.Program,
             "in the program; the trace was recorded from a different "
             "program or the edit was not a pure finish insertion")
     chains = _injection_chains(program, trace.finish_nids)
-    builder = DpstBuilder(detector)
+    run = run_arraycore(trace, algorithm, chains=chains)
+    report = run.report()
+    dpst = run.dpst_handle()
 
-    kinds = trace.kinds
-    payloads = trace.payloads
-    pends = trace.pends
-    starts = trace.starts
-    segcosts = trace.segcosts
-    acodes = trace.acodes
-    anodes = trace.anodes
-    n_events = len(kinds)
-    n_accesses = len(acodes)
-
-    chains_get = chains.get
-    b_at = builder.at_statement
-    b_add = builder.add_cost
-    b_enter_async = builder.enter_async
-    b_exit_async = builder.exit_async
-    b_enter_finish = builder.enter_finish
-    b_exit_finish = builder.exit_finish
-    b_enter_scope = builder.enter_scope
-    b_exit_scope = builder.exit_scope
-    on_read = detector.on_read
-    on_write = detector.on_write
-    task_stack = builder._task_stack
-
-    frames = []
-    cur = _EMPTY
-    debt = 0
-
-    # Same rationale as detect_races: the loop allocates long-lived tree
-    # and shadow structures at a steady rate; generational re-traversals
-    # would dominate, and nothing here needs cycle collection mid-run.
-    gc_was_enabled = gc.isenabled()
-    if gc_was_enabled:
-        gc.disable()
-    try:
-        for j in range(n_events):
-            kind = kinds[j]
-            if kind == K_AT:
-                nid = payloads[j]
-                target = chains_get(nid, _EMPTY)
-                if target is not cur:
-                    pend = pends[j]
-                    common = 0
-                    len_cur = len(cur)
-                    len_target = len(target)
-                    while (common < len_cur and common < len_target
-                           and cur[common] is target[common]):
-                        common += 1
-                    if common < len_cur:
-                        # Close the divergent suffix, flushing any cost
-                        # accrued since the last flush *inside* the
-                        # innermost finish first — exactly where the
-                        # engine's exit-time flush would put it.
-                        flush = pend - debt
-                        if flush > 0:
-                            b_add(flush)
-                            debt = pend
-                        for _ in range(len_cur - common):
-                            b_exit_finish()
-                    for fi in range(common, len_target):
-                        fstmt = target[fi]
-                        b_at(fstmt.nid)
-                        flush = pend - debt
-                        if flush > 0:
-                            b_add(flush)
-                            debt = pend
-                        b_enter_finish(fstmt)
-                    cur = target
-                b_at(nid)
-            elif kind == K_ENTER_ASYNC:
-                b_enter_async(payloads[j])
-                frames.append(cur)
-                cur = _EMPTY
-            elif kind == K_EXIT_ASYNC:
-                for _ in range(len(cur)):
-                    b_exit_finish()
-                cur = frames.pop()
-                b_exit_async()
-            elif kind == K_ENTER_SCOPE:
-                scope_kind, construct_nid, block_nid = payloads[j]
-                b_enter_scope(scope_kind, construct_nid, block_nid)
-                frames.append(cur)
-                cur = _EMPTY
-            elif kind == K_EXIT_SCOPE:
-                for _ in range(len(cur)):
-                    b_exit_finish()
-                cur = frames.pop()
-                b_exit_scope()
-            elif kind == K_ENTER_FINISH:
-                b_enter_finish(payloads[j])
-                frames.append(cur)
-                cur = _EMPTY
-            elif kind == K_EXIT_FINISH:
-                for _ in range(len(cur)):
-                    b_exit_finish()
-                cur = frames.pop()
-                b_exit_finish()
-            # else: K_START — the virtual opening event, no bookkeeping.
-
-            # The segment: accesses and cost between this control event
-            # and the next.  Step and anchor are loop-invariant here, so
-            # one add_cost does the builder bookkeeping (step creation,
-            # anchor append, cost) and the inner loop is detector-only.
-            lo = starts[j]
-            hi = starts[j + 1] if j + 1 < n_events else n_accesses
-            cost = segcosts[j]
-            if debt and cost:
-                take = cost if debt > cost else debt
-                cost -= take
-                debt -= take
-            if hi > lo:
-                b_add(cost)
-                step = builder.current_step
-                task = task_stack[-1]
-                for i in range(lo, hi):
-                    code = acodes[i]
-                    if code & 1:
-                        on_write(code >> 1, task, step, anodes[i])
-                    else:
-                        on_read(code >> 1, task, step, anodes[i])
-            elif cost:
-                b_add(cost)
-        # Defensive: a well-formed trace closes every scope, so no
-        # injected finish can still be open here.
-        for _ in range(len(cur)):  # pragma: no cover - unreachable
-            b_exit_finish()
-        dpst = builder.finish()
-    finally:
-        if gc_was_enabled:
-            gc.enable()
-
-    report = detector.report() if hasattr(detector, "report") \
-        else RaceReport([])
     execution = ExecutionResult(list(trace.output), trace.ops, trace.value)
-    telemetry.counter("replay.events", n_events)
-    telemetry.counter("replay.accesses", n_accesses)
-    telemetry.counter("dpst.nodes", builder._counter + 1)
+    telemetry.counter("replay.events", len(trace.kinds))
+    telemetry.counter("replay.accesses", len(trace.acodes))
+    telemetry.counter("dpst.nodes", run.node_count)
     telemetry.counter("detector.races", len(report))
     telemetry.counter("detector.monitored_accesses",
-                      detector.monitored_accesses)
-    telemetry.counter("detector.bag_unions", detector.bags.unions)
+                      run.detector.monitored_accesses)
+    telemetry.counter("detector.bag_unions", run.detector.bags.unions)
     elapsed = time.perf_counter() - start
-    return DetectionResult(execution, dpst, report, detector, elapsed,
-                           replayed=True)
+    return DetectionResult(execution, dpst, report, run.detector, elapsed,
+                           replayed=True, node_count=run.node_count)

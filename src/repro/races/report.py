@@ -125,9 +125,11 @@ class RaceReport:
     # that the analyzer reads; we keep that interface for parity).
     # ------------------------------------------------------------------
 
-    def to_trace_json(self) -> str:
-        """Serialize the race set to the JSON trace-file format."""
-        rows = [{
+    def to_rows(self) -> List[Dict[str, Any]]:
+        """The race set as plain-data rows — the single row schema shared
+        by the JSON trace files (:meth:`to_trace_json`), the CLI, and
+        :meth:`~repro.races.detect.DetectionResult.to_payload`."""
+        return [{
             "source_step": race.source.index,
             "sink_step": race.sink.index,
             "addr": list(race.addr),
@@ -135,7 +137,10 @@ class RaceReport:
             "source_line": getattr(race.source_ast, "line", 0) or 0,
             "sink_line": getattr(race.sink_ast, "line", 0) or 0,
         } for race in self.races]
-        return json.dumps({"version": 1, "races": rows})
+
+    def to_trace_json(self) -> str:
+        """Serialize the race set to the JSON trace-file format."""
+        return json.dumps({"version": 1, "races": self.to_rows()})
 
     @staticmethod
     def trace_rows(trace_json: str) -> List[Dict[str, Any]]:

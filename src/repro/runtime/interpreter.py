@@ -288,6 +288,17 @@ class Interpreter:
                  engine: Optional[str] = None) -> None:
         self.program = program
         self.observer = observer if observer is not None else ExecutionObserver()
+        # Observer hooks resolved once (the compiled engine does the same
+        # in its own __init__): the tree engine's per-access path calls
+        # these millions of times, and the fused cost_read/cost_write
+        # entry points replace every flush-then-access pair with one call.
+        obs = self.observer
+        self._obs_at = obs.at_statement
+        self._obs_add_cost = obs.add_cost
+        self._obs_cost_read = obs.cost_read
+        self._obs_cost_write = obs.cost_write
+        self._obs_enter_scope = obs.enter_scope
+        self._obs_exit_scope = obs.exit_scope
         self.ctx = BuiltinContext(seed)
         self.max_ops = max_ops
         self.ops = 0
@@ -342,12 +353,13 @@ class Interpreter:
                 self.ops = compiled.ops
         self.observer.bind_pending_cost(lambda: self._pending_cost)
         for gdecl in self.program.globals:
-            self.observer.at_statement(gdecl.nid)
+            self._obs_at(gdecl.nid)
             value = (self._eval(gdecl.init, self.globals_env)
                      if gdecl.init is not None else None)
             cell = self.globals_env.define(gdecl.name, value)
-            self._flush_cost()
-            self.observer.write(cell.addr, gdecl)
+            pending = self._pending_cost
+            self._pending_cost = 0
+            self._obs_cost_write(pending, cell.addr, gdecl)
         value = self._call_function(main, [self._convert_arg(a) for a in args],
                                     main)
         self._flush_cost()
@@ -368,15 +380,18 @@ class Interpreter:
         self.ops += 1
         self._pending_cost += 1
         if self.ops >= self._next_check:
-            if self.ops > self.max_ops:
-                raise StepLimitExceeded(
-                    f"execution exceeded {self.max_ops} operations")
-            self._next_check = min(self.ops + _CHECK_INTERVAL,
-                                   self.max_ops + 1)
+            self._check_budget()
+
+    def _check_budget(self) -> None:
+        if self.ops > self.max_ops:
+            raise StepLimitExceeded(
+                f"execution exceeded {self.max_ops} operations")
+        self._next_check = min(self.ops + _CHECK_INTERVAL,
+                               self.max_ops + 1)
 
     def _flush_cost(self) -> None:
         if self._pending_cost:
-            self.observer.add_cost(self._pending_cost)
+            self._obs_add_cost(self._pending_cost)
             self._pending_cost = 0
 
     # ------------------------------------------------------------------
@@ -385,20 +400,22 @@ class Interpreter:
 
     def _exec_block_stmts(self, block: ast.Block, env: Environment) -> None:
         """Run the statements of ``block`` in ``env`` (no new scope event)."""
+        obs_at = self._obs_at
+        exec_stmt = self._exec_stmt
         for stmt in block.stmts:
-            self.observer.at_statement(stmt.nid)
-            self._exec_stmt(stmt, env)
+            obs_at(stmt.nid)
+            exec_stmt(stmt, env)
 
     def _exec_scoped_block(self, kind: str, construct_nid: int,
                            block: ast.Block, env: Environment) -> None:
         """Run ``block`` in a child environment inside a new scope event."""
         self._flush_cost()
-        self.observer.enter_scope(kind, construct_nid, block.nid)
+        self._obs_enter_scope(kind, construct_nid, block.nid)
         try:
             self._exec_block_stmts(block, env.child())
         finally:
             self._flush_cost()
-            self.observer.exit_scope()
+            self._obs_exit_scope()
 
     def _exec_stmt(self, stmt: ast.Stmt, env: Environment) -> None:
         # async/finish/block statements carry no cost of their own: their
@@ -406,15 +423,21 @@ class Interpreter:
         # would materialize spurious steps between adjacent asyncs (the
         # paper's Figure 9 has none).
         if not isinstance(stmt, (ast.AsyncStmt, ast.FinishStmt, ast.Block)):
-            self._tick()
+            # _tick() inlined: this and _eval are the engine's two
+            # hottest call sites.
+            self.ops += 1
+            self._pending_cost += 1
+            if self.ops >= self._next_check:
+                self._check_budget()
         if isinstance(stmt, ast.Assign):
             self._exec_assign(stmt, env)
         elif isinstance(stmt, ast.VarDecl):
             value = (self._eval(stmt.init, env)
                      if stmt.init is not None else None)
             cell = env.define(stmt.name, value)
-            self._flush_cost()
-            self.observer.write(cell.addr, stmt)
+            pending = self._pending_cost
+            self._pending_cost = 0
+            self._obs_cost_write(pending, cell.addr, stmt)
         elif isinstance(stmt, ast.ExprStmt):
             self._eval(stmt.expr, env)
         elif isinstance(stmt, ast.If):
@@ -482,26 +505,30 @@ class Interpreter:
             if stmt.op == "=":
                 value = self._eval(stmt.value, env)
             else:
-                self._flush_cost()
-                self.observer.read(cell.addr, target)
+                pending = self._pending_cost
+                self._pending_cost = 0
+                self._obs_cost_read(pending, cell.addr, target)
                 value = self._apply_compound(stmt.op, cell.value,
                                              self._eval(stmt.value, env), stmt)
             cell.value = value
-            self._flush_cost()
-            self.observer.write(cell.addr, stmt)
+            pending = self._pending_cost
+            self._pending_cost = 0
+            self._obs_cost_write(pending, cell.addr, stmt)
         elif isinstance(target, ast.Index):
             array, index = self._eval_index_parts(target, env)
             addr = array.element_addr(index)
             if stmt.op == "=":
                 value = self._eval(stmt.value, env)
             else:
-                self._flush_cost()
-                self.observer.read(addr, target)
+                pending = self._pending_cost
+                self._pending_cost = 0
+                self._obs_cost_read(pending, addr, target)
                 value = self._apply_compound(stmt.op, array.items[index],
                                              self._eval(stmt.value, env), stmt)
             array.items[index] = value
-            self._flush_cost()
-            self.observer.write(addr, stmt)
+            pending = self._pending_cost
+            self._pending_cost = 0
+            self._obs_cost_write(pending, addr, stmt)
         elif isinstance(target, ast.FieldAccess):
             struct = self._eval_struct(target.base, env, target)
             if target.field not in struct.fields:
@@ -512,14 +539,16 @@ class Interpreter:
             if stmt.op == "=":
                 value = self._eval(stmt.value, env)
             else:
-                self._flush_cost()
-                self.observer.read(addr, target)
+                pending = self._pending_cost
+                self._pending_cost = 0
+                self._obs_cost_read(pending, addr, target)
                 value = self._apply_compound(stmt.op,
                                              struct.fields[target.field],
                                              self._eval(stmt.value, env), stmt)
             struct.fields[target.field] = value
-            self._flush_cost()
-            self.observer.write(addr, stmt)
+            pending = self._pending_cost
+            self._pending_cost = 0
+            self._obs_cost_write(pending, addr, stmt)
         else:
             raise RuntimeFault("invalid assignment target",
                                stmt.line, stmt.col)
@@ -537,10 +566,11 @@ class Interpreter:
         frame = self.globals_env.child()
         for param, value in zip(func.params, args):
             cell = frame.define(param.name, value)
-            self._flush_cost()
-            self.observer.write(cell.addr, call_node)
+            pending = self._pending_cost
+            self._pending_cost = 0
+            self._obs_cost_write(pending, cell.addr, call_node)
         self._flush_cost()
-        self.observer.enter_scope("call", func.nid, func.body.nid)
+        self._obs_enter_scope("call", func.nid, func.body.nid)
         try:
             self._exec_block_stmts(func.body, frame)
             return None
@@ -548,14 +578,18 @@ class Interpreter:
             return signal.value
         finally:
             self._flush_cost()
-            self.observer.exit_scope()
+            self._obs_exit_scope()
 
     # ------------------------------------------------------------------
     # Expressions
     # ------------------------------------------------------------------
 
     def _eval(self, expr: ast.Expr, env: Environment) -> Any:
-        self._tick()
+        # _tick() inlined (see _exec_stmt).
+        self.ops += 1
+        self._pending_cost += 1
+        if self.ops >= self._next_check:
+            self._check_budget()
         if isinstance(expr, ast.IntLit):
             return expr.value
         if isinstance(expr, ast.FloatLit):
@@ -568,8 +602,9 @@ class Interpreter:
             return None
         if isinstance(expr, ast.VarRef):
             cell = env.lookup(expr.name)
-            self._flush_cost()
-            self.observer.read(cell.addr, expr)
+            pending = self._pending_cost
+            self._pending_cost = 0
+            self._obs_cost_read(pending, cell.addr, expr)
             return cell.value
         if isinstance(expr, ast.Binary):
             if expr.op == "&&":
@@ -590,8 +625,9 @@ class Interpreter:
             return self._unary_op(expr.op, value, expr)
         if isinstance(expr, ast.Index):
             array, index = self._eval_index_parts(expr, env)
-            self._flush_cost()
-            self.observer.read(array.element_addr(index), expr)
+            pending = self._pending_cost
+            self._pending_cost = 0
+            self._obs_cost_read(pending, array.element_addr(index), expr)
             return array.items[index]
         if isinstance(expr, ast.FieldAccess):
             struct = self._eval_struct(expr.base, env, expr)
@@ -599,8 +635,9 @@ class Interpreter:
                 raise RuntimeFault(
                     f"struct {struct.struct_name} has no field {expr.field!r}",
                     expr.line, expr.col)
-            self._flush_cost()
-            self.observer.read(struct.field_addr(expr.field), expr)
+            pending = self._pending_cost
+            self._pending_cost = 0
+            self._obs_cost_read(pending, struct.field_addr(expr.field), expr)
             return struct.fields[expr.field]
         if isinstance(expr, ast.Call):
             return self._eval_call(expr, env)

@@ -1,15 +1,24 @@
-"""Execution-trace recording for replay-based re-detection.
+"""Execution-trace recording: the packed array encoding of a run.
 
-The repair loop's expensive step is the instrumented run: every monitored
-access pays interpreter dispatch *and* builder/detector work.  But finish
-insertion preserves serial-elision semantics — the depth-first execution
-of the edited program performs the identical computation, so its observer
-event stream is the iteration-0 stream plus the brackets of the new
-``finish`` statements.  :class:`TraceRecorder` tees the iteration-0 stream
-into a compact, segment-compiled :class:`ExecutionTrace`;
-:mod:`repro.races.replay` then re-runs S-DPST construction and ESP-bags
-detection for the *edited* program directly from the arrays, with no
-interpreter in the loop.
+The instrumented run's expensive part is per-access work: every monitored
+access pays interpreter dispatch *and* builder/detector work.  Both the
+replay fast path (PR 3) and the array-compiled detection core lower that
+work onto flat int streams recorded here:
+
+* :class:`TraceBuffer` — the **first-run producer**: an observer that
+  does nothing but append the packed encoding as the engine executes.
+  ``detect_races``'s array core runs the engine with a ``TraceBuffer``
+  and then performs S-DPST maintenance and ESP-bags detection in batch
+  over the arrays (:mod:`repro.races.arraycore`).
+* :class:`TraceRecorder` — the **teeing producer**: records the same
+  arrays while forwarding every event to an inner observer (the object
+  ``DpstBuilder``), so the object-core detection run can record a trace
+  without changing what the builder/detector see.
+
+:mod:`repro.races.replay` is the second *consumer* of the same arrays:
+it feeds a recorded trace (plus later-inserted ``finish`` brackets) back
+through the identical array core, so iterations 1..k of the repair loop
+need no interpreter.
 
 Trace format (all parallel, index = control-event ordinal):
 
@@ -34,9 +43,8 @@ valid across in-place finish insertion).
 
 from __future__ import annotations
 
-from typing import Any, List, Optional
+from typing import Any, List
 
-from ..lang import ast
 from .interpreter import ExecutionObserver
 
 #: Control-event opcodes.
@@ -54,8 +62,8 @@ class ExecutionTrace:
     """One recorded instrumented run, in replay-ready form."""
 
     __slots__ = ("kinds", "payloads", "pends", "starts", "segcosts",
-                 "acodes", "anodes", "addr_table", "stmt_nids",
-                 "finish_nids", "output", "ops", "value")
+                 "acodes", "anodes", "addr_table", "_stmt_nids",
+                 "_finish_nids", "output", "ops", "value")
 
     def __init__(self, kinds, payloads, pends, starts, segcosts,
                  acodes, anodes, addr_table) -> None:
@@ -67,23 +75,51 @@ class ExecutionTrace:
         self.acodes: List[int] = acodes
         self.anodes: List[Any] = anodes
         self.addr_table: List[Any] = addr_table
-        #: statement nids that executed (used to validate a replay target).
-        self.stmt_nids = {payloads[j] for j, k in enumerate(kinds)
-                          if k == K_AT}
-        #: finish-statement nids whose enter events are *in* the trace;
-        #: replay must not inject brackets for these (they were already
-        #: present when the trace was recorded — e.g. synthetic finishes
-        #: from an earlier repair round).
-        self.finish_nids = {payloads[j].nid for j, k in enumerate(kinds)
-                            if k == K_ENTER_FINISH}
+        # The replay-validation nid sets scan every event; computed on
+        # first use so the first-run detection path never pays for them.
+        self._stmt_nids = None
+        self._finish_nids = None
         # Execution-result fields, filled in by the recording run's driver.
         self.output: List[str] = []
         self.ops = 0
         self.value: Any = None
 
     @property
+    def stmt_nids(self):
+        """Statement nids that executed (validates a replay target)."""
+        nids = self._stmt_nids
+        if nids is None:
+            payloads = self.payloads
+            nids = self._stmt_nids = {
+                payloads[j] for j, k in enumerate(self.kinds) if k == K_AT}
+        return nids
+
+    @property
+    def finish_nids(self):
+        """Finish-statement nids whose enter events are *in* the trace;
+        replay must not inject brackets for these (they were already
+        present when the trace was recorded — e.g. synthetic finishes
+        from an earlier repair round)."""
+        nids = self._finish_nids
+        if nids is None:
+            payloads = self.payloads
+            nids = self._finish_nids = {
+                payloads[j].nid for j, k in enumerate(self.kinds)
+                if k == K_ENTER_FINISH}
+        return nids
+
+    @property
     def access_count(self) -> int:
         return len(self.acodes)
+
+    def decode_accesses(self):
+        """Decode ``acodes`` back into the ``(addr, kind)`` sequence the
+        observer saw, with ``kind`` one of ``"read"``/``"write"``.  The
+        inverse of the packed encoding — tests use it to prove the
+        round trip is exact."""
+        table = self.addr_table
+        return [(table[code >> 1], "write" if code & 1 else "read")
+                for code in self.acodes]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"ExecutionTrace(events={len(self.kinds)}, "
@@ -91,17 +127,29 @@ class ExecutionTrace:
                 f"addrs={len(self.addr_table)})")
 
 
-class TraceRecorder(ExecutionObserver):
-    """Observer that tees every event to ``inner`` while recording it.
+class TraceBuffer(ExecutionObserver):
+    """Observer that *only* records the packed encoding of a run.
 
-    Wrap the :class:`~repro.dpst.builder.DpstBuilder` of the iteration-0
-    detection run; the builder (and its detector) see the exact stream
-    they would without recording.
+    This is the array core's first-run producer: per monitored access it
+    does one interning lookup and two list appends — no S-DPST node, no
+    shadow-memory entry, no detector call.  The batch consumer
+    (:mod:`repro.races.arraycore`) does all of that afterwards, over the
+    flat arrays.
+
+    The observer hooks are installed as *instance attributes* — closures
+    built in ``__init__`` that capture the arrays and their bound
+    ``append`` methods directly.  Engines resolve observer methods once
+    and call them millions of times; closing over the state up front
+    removes every per-call ``self.`` lookup from the hot path.  The
+    engine's pending-cost hook arrives (via :meth:`bind_pending_cost`)
+    *after* engines have already bound ``at_statement``, so the closure
+    reads it through a one-slot cell rather than being rebuilt.
     """
 
-    def __init__(self, inner: ExecutionObserver) -> None:
-        self.inner = inner
-        self._pending = lambda: 0
+    def __init__(self) -> None:
+        # The engine's accrued-cost probe; rebound in place so closures
+        # built before bind_pending_cost still see the real hook.
+        self._pending_cell = [lambda: 0]
         # Control-event arrays, opened with the virtual K_START segment
         # so accesses before the first real event (e.g. main's argument
         # binding) have a home.
@@ -115,123 +163,100 @@ class TraceRecorder(ExecutionObserver):
         self._anodes: List[Any] = []
         self._addr_ids = {}
         self._addr_table: List[Any] = []
-        # Bound forwards / locals for the per-access hot path.
-        self._i_at = inner.at_statement
-        self._i_enter_async = inner.enter_async
-        self._i_exit_async = inner.exit_async
-        self._i_enter_finish = inner.enter_finish
-        self._i_exit_finish = inner.exit_finish
-        self._i_enter_scope = inner.enter_scope
-        self._i_exit_scope = inner.exit_scope
-        self._i_read = inner.read
-        self._i_write = inner.write
-        self._i_add_cost = inner.add_cost
-        self._i_cost_read = inner.cost_read
-        self._i_cost_write = inner.cost_write
+        self._install_hooks()
 
     # ------------------------------------------------------------------
 
     def bind_pending_cost(self, pending) -> None:
-        self._pending = pending
-        self.inner.bind_pending_cost(pending)
+        self._pending_cell[0] = pending
 
-    def _event(self, kind: int, payload: Any, pend: int = 0) -> None:
-        self._kinds.append(kind)
-        self._payloads.append(payload)
-        self._pends.append(pend)
-        self._starts.append(len(self._acodes))
-        self._segcosts.append(0)
+    def _install_hooks(self) -> None:
+        """Build the per-event closures and install them as instance
+        attributes (shadowing the interface methods)."""
+        pending_cell = self._pending_cell
+        kinds_append = self._kinds.append
+        payloads_append = self._payloads.append
+        pends_append = self._pends.append
+        starts_append = self._starts.append
+        segcosts = self._segcosts
+        segcosts_append = segcosts.append
+        acodes = self._acodes
+        acodes_append = acodes.append
+        anodes_append = self._anodes.append
+        addr_ids = self._addr_ids
+        addr_get = addr_ids.get
+        addr_table = self._addr_table
+        table_append = addr_table.append
 
-    def _addr_id(self, addr) -> int:
-        aid = self._addr_ids.get(addr)
-        if aid is None:
-            aid = len(self._addr_table)
-            self._addr_ids[addr] = aid
-            self._addr_table.append(addr)
-        return aid
+        def event(kind, payload, pend=0):
+            kinds_append(kind)
+            payloads_append(payload)
+            pends_append(pend)
+            starts_append(len(acodes))
+            segcosts_append(0)
 
-    # ------------------------------------------------------------------
-    # Control events
-    # ------------------------------------------------------------------
+        def at_statement(stmt_nid):
+            kinds_append(K_AT)
+            payloads_append(stmt_nid)
+            pends_append(pending_cell[0]())
+            starts_append(len(acodes))
+            segcosts_append(0)
 
-    def at_statement(self, stmt_nid: int) -> None:
-        self._event(K_AT, stmt_nid, self._pending())
-        self._i_at(stmt_nid)
+        def read(addr, node):
+            aid = addr_get(addr)
+            if aid is None:
+                aid = len(addr_table)
+                addr_ids[addr] = aid
+                table_append(addr)
+            acodes_append(aid << 1)
+            anodes_append(node)
 
-    def enter_async(self, stmt: ast.AsyncStmt) -> None:
-        self._event(K_ENTER_ASYNC, stmt)
-        self._i_enter_async(stmt)
+        def write(addr, node):
+            aid = addr_get(addr)
+            if aid is None:
+                aid = len(addr_table)
+                addr_ids[addr] = aid
+                table_append(addr)
+            acodes_append(aid << 1 | 1)
+            anodes_append(node)
 
-    def exit_async(self) -> None:
-        self._event(K_EXIT_ASYNC, None)
-        self._i_exit_async()
+        def add_cost(units):
+            segcosts[-1] += units
 
-    def enter_finish(self, stmt: ast.FinishStmt) -> None:
-        self._event(K_ENTER_FINISH, stmt)
-        self._i_enter_finish(stmt)
+        def cost_read(units, addr, node):
+            aid = addr_get(addr)
+            if aid is None:
+                aid = len(addr_table)
+                addr_ids[addr] = aid
+                table_append(addr)
+            acodes_append(aid << 1)
+            anodes_append(node)
+            segcosts[-1] += units
 
-    def exit_finish(self) -> None:
-        self._event(K_EXIT_FINISH, None)
-        self._i_exit_finish()
+        def cost_write(units, addr, node):
+            aid = addr_get(addr)
+            if aid is None:
+                aid = len(addr_table)
+                addr_ids[addr] = aid
+                table_append(addr)
+            acodes_append(aid << 1 | 1)
+            anodes_append(node)
+            segcosts[-1] += units
 
-    def enter_scope(self, kind: str, construct_nid: int,
-                    block_nid: int) -> None:
-        self._event(K_ENTER_SCOPE, (kind, construct_nid, block_nid))
-        self._i_enter_scope(kind, construct_nid, block_nid)
-
-    def exit_scope(self) -> None:
-        self._event(K_EXIT_SCOPE, None)
-        self._i_exit_scope()
-
-    # ------------------------------------------------------------------
-    # Access / cost events (the hot path)
-    # ------------------------------------------------------------------
-
-    def read(self, addr, node: ast.Node) -> None:
-        aid = self._addr_ids.get(addr)
-        if aid is None:
-            aid = len(self._addr_table)
-            self._addr_ids[addr] = aid
-            self._addr_table.append(addr)
-        self._acodes.append(aid << 1)
-        self._anodes.append(node)
-        self._i_read(addr, node)
-
-    def write(self, addr, node: ast.Node) -> None:
-        aid = self._addr_ids.get(addr)
-        if aid is None:
-            aid = len(self._addr_table)
-            self._addr_ids[addr] = aid
-            self._addr_table.append(addr)
-        self._acodes.append(aid << 1 | 1)
-        self._anodes.append(node)
-        self._i_write(addr, node)
-
-    def add_cost(self, units: int) -> None:
-        self._segcosts[-1] += units
-        self._i_add_cost(units)
-
-    def cost_read(self, units: int, addr, node: ast.Node) -> None:
-        aid = self._addr_ids.get(addr)
-        if aid is None:
-            aid = len(self._addr_table)
-            self._addr_ids[addr] = aid
-            self._addr_table.append(addr)
-        self._acodes.append(aid << 1)
-        self._anodes.append(node)
-        self._segcosts[-1] += units
-        self._i_cost_read(units, addr, node)
-
-    def cost_write(self, units: int, addr, node: ast.Node) -> None:
-        aid = self._addr_ids.get(addr)
-        if aid is None:
-            aid = len(self._addr_table)
-            self._addr_ids[addr] = aid
-            self._addr_table.append(addr)
-        self._acodes.append(aid << 1 | 1)
-        self._anodes.append(node)
-        self._segcosts[-1] += units
-        self._i_cost_write(units, addr, node)
+        self._event = event
+        self.at_statement = at_statement
+        self.enter_async = lambda stmt: event(K_ENTER_ASYNC, stmt)
+        self.exit_async = lambda: event(K_EXIT_ASYNC, None)
+        self.enter_finish = lambda stmt: event(K_ENTER_FINISH, stmt)
+        self.exit_finish = lambda: event(K_EXIT_FINISH, None)
+        self.enter_scope = lambda kind, construct_nid, block_nid: \
+            event(K_ENTER_SCOPE, (kind, construct_nid, block_nid))
+        self.exit_scope = lambda: event(K_EXIT_SCOPE, None)
+        self.read = read
+        self.write = write
+        self.add_cost = add_cost
+        self.cost_read = cost_read
+        self.cost_write = cost_write
 
     # ------------------------------------------------------------------
 
@@ -240,3 +265,145 @@ class TraceRecorder(ExecutionObserver):
         return ExecutionTrace(self._kinds, self._payloads, self._pends,
                               self._starts, self._segcosts,
                               self._acodes, self._anodes, self._addr_table)
+
+
+class TraceRecorder(TraceBuffer):
+    """Observer that tees every event to ``inner`` while recording it.
+
+    Wrap the :class:`~repro.dpst.builder.DpstBuilder` of an object-core
+    detection run; the builder (and its detector) see the exact stream
+    they would without recording.  Like the buffer, the hooks are
+    instance-attribute closures; each repeats the buffer's body with the
+    bound forward appended rather than delegating — one call per access
+    instead of two.
+    """
+
+    def __init__(self, inner: ExecutionObserver) -> None:
+        self.inner = inner
+        super().__init__()
+
+    def bind_pending_cost(self, pending) -> None:
+        self._pending_cell[0] = pending
+        self.inner.bind_pending_cost(pending)
+
+    def _install_hooks(self) -> None:
+        super()._install_hooks()
+        record_event = self._event
+        pending_cell = self._pending_cell
+        kinds_append = self._kinds.append
+        payloads_append = self._payloads.append
+        pends_append = self._pends.append
+        starts_append = self._starts.append
+        segcosts = self._segcosts
+        segcosts_append = segcosts.append
+        acodes = self._acodes
+        acodes_append = acodes.append
+        anodes_append = self._anodes.append
+        addr_ids = self._addr_ids
+        addr_get = addr_ids.get
+        addr_table = self._addr_table
+        table_append = addr_table.append
+        inner = self.inner
+        i_at = inner.at_statement
+        i_enter_async = inner.enter_async
+        i_exit_async = inner.exit_async
+        i_enter_finish = inner.enter_finish
+        i_exit_finish = inner.exit_finish
+        i_enter_scope = inner.enter_scope
+        i_exit_scope = inner.exit_scope
+        i_read = inner.read
+        i_write = inner.write
+        i_add_cost = inner.add_cost
+        i_cost_read = inner.cost_read
+        i_cost_write = inner.cost_write
+
+        def at_statement(stmt_nid):
+            kinds_append(K_AT)
+            payloads_append(stmt_nid)
+            pends_append(pending_cell[0]())
+            starts_append(len(acodes))
+            segcosts_append(0)
+            i_at(stmt_nid)
+
+        def enter_async(stmt):
+            record_event(K_ENTER_ASYNC, stmt)
+            i_enter_async(stmt)
+
+        def exit_async():
+            record_event(K_EXIT_ASYNC, None)
+            i_exit_async()
+
+        def enter_finish(stmt):
+            record_event(K_ENTER_FINISH, stmt)
+            i_enter_finish(stmt)
+
+        def exit_finish():
+            record_event(K_EXIT_FINISH, None)
+            i_exit_finish()
+
+        def enter_scope(kind, construct_nid, block_nid):
+            record_event(K_ENTER_SCOPE, (kind, construct_nid, block_nid))
+            i_enter_scope(kind, construct_nid, block_nid)
+
+        def exit_scope():
+            record_event(K_EXIT_SCOPE, None)
+            i_exit_scope()
+
+        def read(addr, node):
+            aid = addr_get(addr)
+            if aid is None:
+                aid = len(addr_table)
+                addr_ids[addr] = aid
+                table_append(addr)
+            acodes_append(aid << 1)
+            anodes_append(node)
+            i_read(addr, node)
+
+        def write(addr, node):
+            aid = addr_get(addr)
+            if aid is None:
+                aid = len(addr_table)
+                addr_ids[addr] = aid
+                table_append(addr)
+            acodes_append(aid << 1 | 1)
+            anodes_append(node)
+            i_write(addr, node)
+
+        def add_cost(units):
+            segcosts[-1] += units
+            i_add_cost(units)
+
+        def cost_read(units, addr, node):
+            aid = addr_get(addr)
+            if aid is None:
+                aid = len(addr_table)
+                addr_ids[addr] = aid
+                table_append(addr)
+            acodes_append(aid << 1)
+            anodes_append(node)
+            segcosts[-1] += units
+            i_cost_read(units, addr, node)
+
+        def cost_write(units, addr, node):
+            aid = addr_get(addr)
+            if aid is None:
+                aid = len(addr_table)
+                addr_ids[addr] = aid
+                table_append(addr)
+            acodes_append(aid << 1 | 1)
+            anodes_append(node)
+            segcosts[-1] += units
+            i_cost_write(units, addr, node)
+
+        self.at_statement = at_statement
+        self.enter_async = enter_async
+        self.exit_async = exit_async
+        self.enter_finish = enter_finish
+        self.exit_finish = exit_finish
+        self.enter_scope = enter_scope
+        self.exit_scope = exit_scope
+        self.read = read
+        self.write = write
+        self.add_cost = add_cost
+        self.cost_read = cost_read
+        self.cost_write = cost_write

@@ -1,0 +1,233 @@
+"""The array detection core (races/arraycore.py): differential tests.
+
+The core's contract is bit-identical output to the object engine — same
+race report (order, kinds, step indices, AST nodes, task ids,
+addresses), same S-DPST, same bag-union and access counters — for both
+ESP-bags variants, on both the stdlib and numpy batch-filter paths.
+These tests enforce that over the Table-1 bench corpus and the
+student-homework corpus, mirroring how test_compiled_engine.py pins the
+two execution engines to each other.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.students import (
+    MATCHED_TEMPLATES,
+    OVERSYNC_TEMPLATES,
+    RACY_TEMPLATES,
+)
+from repro.bench.suite import BENCHMARK_ORDER, get_benchmark
+from repro.dpst.tree import Dpst
+from repro.lang import parse, strip_finishes
+from repro.races import detect_races
+from repro.races.arraycore import numpy_mode, run_arraycore
+from repro.races.detect import CORES, default_core
+from tests.conftest import build
+from tests.test_replay import dpst_sig, norm_report
+
+ALGORITHMS = ("mrw", "srw")
+NUMPY_MODES = ("0", "1")
+
+STUDENT_SOURCES = [
+    pytest.param(source, id=f"student-{i}")
+    for i, (_desc, source) in enumerate(
+        RACY_TEMPLATES + OVERSYNC_TEMPLATES + MATCHED_TEMPLATES)
+]
+
+#: dup-heavy shapes: repeated same-address accesses inside one step
+#: exercise the within-segment dedup filter on both race outcomes.
+DUP_HEAVY = {
+    "dup-racy": """
+    var x = 0;
+    var y = 0;
+    def main() {
+        async {
+            for (var i = 0; i < 50; i = i + 1) { x = x + 1; }
+        }
+        for (var i = 0; i < 50; i = i + 1) { y = y + x; }
+        print(y);
+    }
+    """,
+    "dup-clean": """
+    var x = 0;
+    var y = 0;
+    def main() {
+        finish {
+            async {
+                for (var i = 0; i < 50; i = i + 1) { x = x + 1; }
+            }
+        }
+        for (var i = 0; i < 50; i = i + 1) { y = y + x; }
+        print(y);
+    }
+    """,
+    "dup-mixed-kinds": """
+    var a = 0;
+    def main() {
+        async { a = a + a; a = a + 1; }
+        async { a = a + 2; }
+        print(a + a + a);
+    }
+    """,
+}
+
+
+def detection_sig(detection):
+    return (norm_report(detection.report), dpst_sig(detection.dpst),
+            detection.detector.monitored_accesses,
+            detection.detector.bags.unions,
+            detection.dpst_node_count,
+            detection.execution.ops)
+
+
+def run_differential(program_factory, args, algorithm, monkeypatch,
+                     numpy_env):
+    monkeypatch.setenv("REPRO_NUMPY", numpy_env)
+    array = detect_races(program_factory(), args, algorithm=algorithm,
+                         core="array")
+    obj = detect_races(program_factory(), args, algorithm=algorithm,
+                       core="object")
+    assert detection_sig(array) == detection_sig(obj)
+    return array, obj
+
+
+class TestBenchDifferential:
+    @pytest.mark.parametrize("numpy_env", NUMPY_MODES)
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    @pytest.mark.parametrize("name", BENCHMARK_ORDER)
+    def test_stripped_bench_identical(self, name, algorithm, numpy_env,
+                                      monkeypatch):
+        spec = get_benchmark(name)
+        run_differential(lambda: strip_finishes(spec.parse()),
+                         spec.test_args, algorithm, monkeypatch, numpy_env)
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_original_bench_identical(self, algorithm, monkeypatch):
+        # Race-free originals: the lazy-DPST path, spot-checked on two.
+        for name in ("fibonacci", "mergesort"):
+            spec = get_benchmark(name)
+            array, _obj = run_differential(spec.parse, spec.test_args,
+                                           algorithm, monkeypatch, "0")
+            assert array.report.is_race_free
+
+
+class TestStudentDifferential:
+    @pytest.mark.parametrize("numpy_env", NUMPY_MODES)
+    @pytest.mark.parametrize("source", STUDENT_SOURCES)
+    def test_submission_identical(self, source, numpy_env, monkeypatch):
+        for algorithm in ALGORITHMS:
+            run_differential(lambda: parse(source), (40,), algorithm,
+                             monkeypatch, numpy_env)
+
+
+class TestDupHeavy:
+    @pytest.mark.parametrize("numpy_env", NUMPY_MODES)
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    @pytest.mark.parametrize("name", sorted(DUP_HEAVY))
+    def test_dedup_preserves_reports(self, name, algorithm, numpy_env,
+                                     monkeypatch):
+        run_differential(lambda: build(DUP_HEAVY[name]), (), algorithm,
+                         monkeypatch, numpy_env)
+
+
+class TestCoreSelection:
+    def test_default_core_is_array(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ARRAYCORE", raising=False)
+        assert default_core() == "array"
+        assert set(CORES) == {"array", "object"}
+
+    @pytest.mark.parametrize("env,expected", [
+        ("0", "object"), ("off", "object"), ("object", "object"),
+        ("1", "array"), ("on", "array"), ("array", "array"),
+        ("", "array"),
+    ])
+    def test_env_selects_core(self, env, expected, monkeypatch):
+        monkeypatch.setenv("REPRO_ARRAYCORE", env)
+        assert default_core() == expected
+
+    def test_unknown_core_rejected(self):
+        with pytest.raises(ValueError, match="core"):
+            detect_races(build("def main() {}"), core="jit")
+
+    def test_custom_detector_uses_object_core(self):
+        from repro.races import VectorClockDetector
+        detection = detect_races(
+            build("var x = 0; def main() { async { x = 1; } print(x); }"),
+            detector=VectorClockDetector())
+        assert isinstance(detection.detector, VectorClockDetector)
+        assert not detection.report.is_race_free
+
+    def test_numpy_mode_reads_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NUMPY", "0")
+        assert numpy_mode() == "off"
+        monkeypatch.setenv("REPRO_NUMPY", "on")
+        assert numpy_mode() == "on"
+        monkeypatch.delenv("REPRO_NUMPY")
+        assert numpy_mode() == "auto"
+
+
+class TestArrayCoreBehavior:
+    RACY = "var x = 0; def main() { async { x = 1; } print(x); }"
+    CLEAN = ("var x = 0; def main() { finish { async { x = 1; } } "
+             "print(x); }")
+
+    def test_racefree_detection_defers_tree(self):
+        detection = detect_races(build(self.CLEAN), core="array")
+        assert callable(detection._dpst)  # not materialized yet
+        count = detection.dpst_node_count  # known without the tree
+        assert callable(detection._dpst)
+        tree = detection.dpst  # first touch materializes ...
+        assert isinstance(tree, Dpst)
+        assert detection.dpst is tree  # ... and caches
+        assert tree.node_count() == count
+
+    def test_racy_detection_has_tree_backed_report(self):
+        detection = detect_races(build(self.RACY), core="array")
+        assert not detection.report.is_race_free
+        tree = detection.dpst
+        by_index = {node.index: node for node in tree.walk()}
+        for race in detection.report:
+            # Report steps are identity-shared with the tree (the
+            # placement passes compute LCAs on them).
+            assert by_index[race.source.index] is race.source
+            assert by_index[race.sink.index] is race.sink
+
+    def test_record_trace_returns_trace(self):
+        detection = detect_races(build(self.RACY), core="array",
+                                 record_trace=True)
+        trace = detection.trace
+        assert trace is not None
+        assert trace.output == detection.execution.output
+        assert trace.ops == detection.execution.ops
+        # And the trace replays through the same core.
+        from repro.races.replay import replay_detection
+        replayed = replay_detection(trace, build(self.RACY))
+        assert norm_report(replayed.report) == \
+            norm_report(detection.report)
+
+    def test_srw_shadow_is_constant_space(self):
+        detection = detect_races(build(self.RACY), algorithm="srw",
+                                 core="array")
+        assert detection.detector.shadow
+        for entry in detection.detector.shadow.values():
+            assert len(entry) == 4
+
+    def test_forced_numpy_matches_stdlib_rows(self, monkeypatch):
+        pytest.importorskip("numpy")
+        source = DUP_HEAVY["dup-racy"]
+        rows = {}
+        for env in NUMPY_MODES:
+            monkeypatch.setenv("REPRO_NUMPY", env)
+            detection = detect_races(build(source), core="array")
+            # Raw addresses come from a process-global counter; compare
+            # the normalized report, not raw payload rows.
+            rows[env] = norm_report(detection.report)
+        assert rows["0"] == rows["1"] and rows["0"]
+
+    def test_payload_races_are_report_rows(self):
+        detection = detect_races(build(self.RACY), core="array")
+        payload = detection.to_payload()
+        assert payload["races"] == detection.report.to_rows()
+        assert payload["race_count"] == len(payload["races"])

@@ -24,6 +24,14 @@ Phases, per benchmark program:
   only the confirming run replays), the phase includes synthetic
   ``stress-*`` workloads whose nested unsynchronized asyncs force the
   engine through 2-3 repair iterations — the case replay exists for.
+* ``repair-incremental`` — the same repair loop with replay pinned on,
+  comparing incremental re-detection (checkpointed array-core replay
+  that re-scans only the edited region) against full-trace replay.
+  Each cell records the ``incremental.*`` telemetry counters, so the
+  summary can report the re-scanned window fraction
+  (``window_events / events_total``) next to the per-iteration
+  re-detection speedup; repaired sources must again be byte-identical
+  between modes.
 
 One additional phase measures the batch service instead of a single
 program:
@@ -56,7 +64,7 @@ summaries per phase.
 
 Usage::
 
-    PYTHONPATH=src python scripts/bench.py               # full, writes BENCH_pr6.json
+    PYTHONPATH=src python scripts/bench.py               # full, writes BENCH_pr8.json
     PYTHONPATH=src python scripts/bench.py --quick       # tiny inputs, 1 trial, stdout only
     PYTHONPATH=src python scripts/bench.py --phases repair --programs crypt stress-nested
 """
@@ -78,7 +86,8 @@ from repro.bench.suite import BENCHMARK_ORDER, get_benchmark  # noqa: E402
 
 DETECTORS = ("mrw", "srw")
 ENGINES = ("tree", "compiled")
-PHASES = ("execute", "detect", "arraycore", "repair", "batch")
+PHASES = ("execute", "detect", "arraycore", "repair", "repair-incremental",
+          "batch")
 BATCH_WORKERS = (1, 2, 4, 8)
 #: detection-core cells of the ``arraycore`` phase: label -> (core
 #: argument for detect_races, REPRO_NUMPY environment value).
@@ -249,11 +258,17 @@ def _measure_child(options: argparse.Namespace) -> int:
 
         program, args = _load_repair_workload(options.program, options.args)
         replay = options.replay == "on"
+        #: "default" leaves incremental at the process default; "on"/
+        #: "off" pin it (the repair-incremental phase measures the pair).
+        incremental = (None if options.incremental == "default"
+                       else options.incremental == "on")
         with telemetry.session("bench:repair") as tel:
             result = repair_program(program, args,
                                     algorithm=options.detector,
-                                    reuse_trace=replay)
+                                    reuse_trace=replay,
+                                    incremental=incremental)
         source = result.repaired_source
+        counters = tel.counters.as_dict()
         record = {
             "wall_time_s": _session_wall_s(tel),
             "repair_time_s": result.repair_time_s,
@@ -266,6 +281,10 @@ def _measure_child(options: argparse.Namespace) -> int:
                 it.detection.replayed for it in result.iterations)
             + result.final_detection.replayed,
             "phases": _session_phases(tel),
+            "incremental_counters": {
+                name: value for name, value in sorted(counters.items())
+                if name.startswith("incremental.")
+                or name == "repair.replay_fallbacks"},
             "repaired_sha256": hashlib.sha256(
                 source.encode("utf-8")).hexdigest(),
         }
@@ -340,14 +359,19 @@ def _measure_child(options: argparse.Namespace) -> int:
 
 
 def _run_cell(program: str, phase: str, engine: str, detector: str,
-              args_kind: str, trials: int, replay: str = "off") -> dict:
+              args_kind: str, trials: int, replay: str = "off",
+              incremental: str = "default") -> dict:
     """Best-of-N fresh-process runs of one benchmark cell."""
+    # The repair-incremental phase is the repair pipeline with the
+    # incremental knob pinned; the child only knows "repair".
+    child_phase = "repair" if phase == "repair-incremental" else phase
     cmd = [sys.executable, os.path.abspath(__file__), "--_measure",
-           "--program", program, "--phase", phase, "--engine", engine,
-           "--detector", detector, "--args", args_kind, "--replay", replay]
+           "--program", program, "--phase", child_phase, "--engine", engine,
+           "--detector", detector, "--args", args_kind, "--replay", replay,
+           "--incremental", incremental]
     # Repair cells are ranked by the acceptance metric (the repair-loop
     # time after the initial detection); everything else by wall clock.
-    metric = "repair_time_s" if phase == "repair" else "wall_time_s"
+    metric = "repair_time_s" if child_phase == "repair" else "wall_time_s"
     best = None
     for _ in range(trials):
         out = subprocess.run(cmd, capture_output=True, text=True, check=True)
@@ -357,8 +381,10 @@ def _run_cell(program: str, phase: str, engine: str, detector: str,
     row = {"program": program, "phase": phase, "engine": engine,
            "detector": detector if phase != "execute" else None,
            "args": args_kind}
-    if phase == "repair":
+    if child_phase == "repair":
         row["replay"] = replay == "on"
+        if phase == "repair-incremental":
+            row["incremental"] = incremental == "on"
         best["repair_time_s"] = round(best["repair_time_s"], 4)
         best["detection_time_s"] = round(best["detection_time_s"], 4)
     row.update(best)
@@ -567,6 +593,78 @@ def _repair_summary(rows: list) -> dict:
     return summary
 
 
+def _incremental_summary(rows: list) -> dict:
+    """Incremental-on vs incremental-off (full replay) comparison per
+    (program, detector), both modes replaying the recorded trace.
+
+    The headline metric is the median per-iteration re-detection time
+    — the ``replay`` span total divided by the number of replayed
+    detections — because that is the work incremental re-detection
+    shrinks; repair-loop wall time rides along.  The driver enforces
+    that repaired sources match between modes.
+    """
+    cells = {}
+    for row in rows:
+        if row["phase"] != "repair-incremental":
+            continue
+        key = (row["program"], row["detector"])
+        cells.setdefault(key, {})["on" if row["incremental"] else "off"] = row
+    per_detector = {}
+    for (program, detector), modes in sorted(cells.items()):
+        if "on" not in modes or "off" not in modes:
+            continue
+        on, off = modes["on"], modes["off"]
+
+        def per_iter(row):
+            replays = row["replayed_detections"]
+            return (row["phases"].get("replay", 0.0) / replays
+                    if replays else None)
+
+        redetect_on, redetect_off = per_iter(on), per_iter(off)
+        counters = on.get("incremental_counters", {})
+        total = counters.get("incremental.events_total", 0)
+        window = counters.get("incremental.window_events", 0)
+        entry = {
+            "iterations": on["iterations"],
+            "replayed_detections": on["replayed_detections"],
+            "redetect_per_iter_off_ms": round(redetect_off * 1000.0, 3)
+            if redetect_off is not None else None,
+            "redetect_per_iter_on_ms": round(redetect_on * 1000.0, 3)
+            if redetect_on is not None else None,
+            "redetect_speedup": round(redetect_off / redetect_on, 2)
+            if redetect_on and redetect_off is not None else None,
+            "repair_speedup": round(
+                off["repair_time_s"] / on["repair_time_s"], 2)
+            if on["repair_time_s"] > 0 else None,
+            "window_fraction": round(window / total, 4) if total else None,
+            "incremental_hits": counters.get("incremental.hits", 0),
+            "incremental_resumes": counters.get("incremental.resumes", 0),
+            "incremental_fallbacks": counters.get(
+                "incremental.fallbacks", 0),
+            "checkpoints": counters.get("incremental.checkpoints", 0),
+            "repaired_source_matches":
+                on["repaired_sha256"] == off["repaired_sha256"],
+        }
+        per_detector.setdefault(detector, {})[program] = entry
+    summary = {}
+    for detector, per_program in per_detector.items():
+        speedups = [e["redetect_speedup"] for e in per_program.values()
+                    if e["redetect_speedup"] is not None]
+        stress = [e["redetect_speedup"] for p, e in per_program.items()
+                  if p.startswith("stress-")
+                  and e["redetect_speedup"] is not None]
+        summary[f"incremental_{detector}"] = {
+            "per_program": per_program,
+            "median_redetect_speedup": round(statistics.median(speedups), 2)
+            if speedups else None,
+            "median_redetect_speedup_stress": round(
+                statistics.median(stress), 2) if stress else None,
+            "all_sources_match": all(
+                e["repaired_source_matches"] for e in per_program.values()),
+        }
+    return summary
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
@@ -587,7 +685,7 @@ def main(argv=None) -> int:
                         help="detectors for the repair phase (default: mrw, "
                              "the paper's Table-2 configuration)")
     parser.add_argument("--output", default=None,
-                        help="output JSON path (default: BENCH_pr6.json "
+                        help="output JSON path (default: BENCH_pr8.json "
                              "next to the repo root; suppressed by --quick)")
     # Internal: one measurement in a fresh process.
     parser.add_argument("--_measure", action="store_true",
@@ -598,6 +696,8 @@ def main(argv=None) -> int:
     parser.add_argument("--detector", help=argparse.SUPPRESS)
     parser.add_argument("--args", default="repair", help=argparse.SUPPRESS)
     parser.add_argument("--replay", default="off", help=argparse.SUPPRESS)
+    parser.add_argument("--incremental", default="default",
+                        help=argparse.SUPPRESS)
     parser.add_argument("--core", default="object", help=argparse.SUPPRESS)
     parser.add_argument("--workers", type=int, default=1,
                         help=argparse.SUPPRESS)
@@ -657,6 +757,25 @@ def main(argv=None) -> int:
                           f"{row['repair_time_s'] * 1000:9.1f} ms repair  "
                           f"{row['iterations']} iter(s)",
                           file=sys.stderr)
+    if "repair-incremental" in options.phases:
+        for program in repair_programs:
+            for detector in options.repair_detectors:
+                for incremental in ("off", "on"):
+                    row = _run_cell(program, "repair-incremental", "compiled",
+                                    detector, args_kind, trials,
+                                    replay="on", incremental=incremental)
+                    rows.append(row)
+                    counters = row.get("incremental_counters", {})
+                    total = counters.get("incremental.events_total", 0)
+                    window = counters.get("incremental.window_events", 0)
+                    fraction = f"{window / total:.0%}" if total else "n/a"
+                    print(f"{program:14s} repair-inc[{detector}] "
+                          f"incremental={incremental:3s} "
+                          f"{row['wall_time_s'] * 1000:9.1f} ms wall  "
+                          f"{row['repair_time_s'] * 1000:9.1f} ms repair  "
+                          f"{row['iterations']} iter(s)  "
+                          f"window={fraction}",
+                          file=sys.stderr)
     if "batch" in options.phases:
         for cache in ("off", "on"):
             for workers in BATCH_WORKERS:
@@ -673,6 +792,7 @@ def main(argv=None) -> int:
     summary = _speedup_summary(rows)
     summary.update(_arraycore_summary(rows))
     summary.update(_repair_summary(rows))
+    summary.update(_incremental_summary(rows))
     summary.update(_batch_summary(rows))
     document = {
         "meta": {
@@ -681,7 +801,9 @@ def main(argv=None) -> int:
                      "program, detect/arraycore/repair = finish-stripped "
                      "(racy) variant as in the repair loop; arraycore = "
                      "object core vs array core (stdlib and numpy batch "
-                     "filters) on the compiled engine; batch = the student "
+                     "filters) on the compiled engine; repair-incremental "
+                     "= replay-on repair with incremental re-detection "
+                     "off vs on; batch = the student "
                      "corpus (repro.bench.students) through the worker "
                      "pool at 1/2/4/8 workers, cache off/on",
             "cpu_count": os.cpu_count(),
@@ -727,6 +849,16 @@ def main(argv=None) -> int:
                 failures.append(
                     f"{config}: replay and re-execution repaired "
                     "sources differ")
+        if config.startswith("incremental_"):
+            print(f"median re-detection speedup (incremental vs full "
+                  f"replay) {config}: {data['median_redetect_speedup']}x; "
+                  f"stress-* median: "
+                  f"{data['median_redetect_speedup_stress']}x",
+                  file=sys.stderr)
+            if not data["all_sources_match"]:
+                failures.append(
+                    f"{config}: incremental and full-replay repaired "
+                    "sources differ")
         if config == "batch":
             print(f"batch jobs/sec by workers (cache off): "
                   f"{data['cache_off']['jobs_per_sec']}; "
@@ -740,7 +872,7 @@ def main(argv=None) -> int:
     output = options.output
     if output is None and not options.quick:
         output = os.path.join(os.path.dirname(__file__), "..",
-                              "BENCH_pr6.json")
+                              "BENCH_pr8.json")
     if output:
         with open(output, "w", encoding="utf-8") as handle:
             json.dump(document, handle, indent=2, sort_keys=True)

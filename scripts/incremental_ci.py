@@ -1,0 +1,172 @@
+#!/usr/bin/env python
+"""CI gate: incremental re-detection must be bit-identical to full replay.
+
+For every workload in the gate corpus — the multi-iteration ``stress-*``
+repair workloads from ``scripts/bench.py`` plus the synthetic student
+corpus — this script runs the full repair pipeline three ways under both
+ESP-bags variants (``mrw`` and ``srw``):
+
+* ``incremental`` — trace replay with incremental re-detection
+  (checkpointed array-core replay, the PR-8 fast path),
+* ``full-replay`` — trace replay re-scanning the whole trace,
+* ``re-execute``  — no replay at all (every iteration re-runs the
+  program).
+
+Every configuration of one workload must produce the *same* result:
+
+* byte-identical repaired source,
+* the same per-iteration normalized race reports,
+* the same placement decisions (graph sizes, costs, finish sets),
+* the same convergence verdict (including "unrepairable").
+
+Stride edge cases (``REPRO_CKPT_STRIDE=1`` and far beyond the trace
+length) are additionally gated on the stress workloads — degenerate
+checkpoint ladders must never change results, only speed.
+
+Exit status is nonzero on the first mismatch, with a diff-style dump of
+the disagreeing runs.  Run from the repo root::
+
+    PYTHONPATH=src python scripts/incremental_ci.py
+    PYTHONPATH=src python scripts/incremental_ci.py --skip-students  # faster
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench.students import population_sources  # noqa: E402
+from repro.errors import RepairError                 # noqa: E402
+from repro.lang import parse                         # noqa: E402
+from repro.repair import repair_program              # noqa: E402
+
+DETECTORS = ("mrw", "srw")
+#: (cell label, repair_program keyword overrides).
+CELLS = (
+    ("incremental", {"reuse_trace": True, "incremental": True}),
+    ("full-replay", {"reuse_trace": True, "incremental": False}),
+    ("re-execute", {"reuse_trace": False}),
+)
+#: stride overrides gated on the stress workloads (label, env value).
+STRIDES = (("stride-1", "1"), ("stride-huge", "1000000"))
+#: argument for every student-corpus entry point (matches the batch CI).
+STUDENT_ARGS = (40,)
+
+
+def _load_stress_programs():
+    path = os.path.join(os.path.dirname(__file__), "bench.py")
+    spec = importlib.util.spec_from_file_location("_bench_script", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.STRESS_PROGRAMS
+
+
+def normalized_result(result) -> tuple:
+    """A cross-run-comparable view of one repair: repaired source, the
+    per-iteration race reports (addresses renamed to first-seen order,
+    per report — re-execution allocates fresh heap ids every iteration
+    while replay reuses the trace's) and the placement decisions."""
+    iterations = []
+    for it in result.iterations:
+        names: dict = {}
+        races = []
+        for race in it.detection.report:
+            owner = names.setdefault((race.addr[0], race.addr[1]),
+                                     len(names))
+            races.append((race.kind,
+                          (race.addr[0], owner) + tuple(race.addr[2:]),
+                          race.source.index, race.sink.index,
+                          race.source_task, race.sink_task))
+        placements = [(p.graph_size, p.edge_count, p.cost,
+                       tuple(p.finishes)) for p in it.placements]
+        iterations.append((tuple(races), tuple(placements)))
+    return (result.converged, result.repaired_source, tuple(iterations))
+
+
+def run_cell(source, args, detector, kwargs, env=None):
+    """One repair configuration; RepairError is a comparable outcome."""
+    old = {}
+    for name, value in (env or {}).items():
+        old[name] = os.environ.get(name)
+        os.environ[name] = value
+    try:
+        result = repair_program(parse(source), args, algorithm=detector,
+                                **kwargs)
+        return normalized_result(result)
+    except RepairError as exc:
+        return ("unrepairable", str(exc))
+    finally:
+        for name, value in old.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+
+
+def check_workload(label: str, source, args, detectors, verbose: bool,
+                   strides: bool = False) -> list:
+    failures = []
+    for detector in detectors:
+        outcomes = {cell: run_cell(source, args, detector, kwargs)
+                    for cell, kwargs in CELLS}
+        if strides:
+            for cell, stride in STRIDES:
+                outcomes[cell] = run_cell(
+                    source, args, detector, CELLS[0][1],
+                    env={"REPRO_CKPT_STRIDE": stride})
+        baseline = outcomes["re-execute"]
+        for cell, outcome in outcomes.items():
+            if cell != "re-execute" and outcome != baseline:
+                failures.append(
+                    f"{label} [{detector}] {cell} != re-execute:\n"
+                    f"  re-execute: {baseline!r}\n"
+                    f"  {cell}: {outcome!r}")
+        if verbose and not failures:
+            state = ("unrepairable" if baseline[0] == "unrepairable"
+                     else f"{len(baseline[2])} iteration(s)")
+            print(f"  {label:32s} [{detector}] ok: {state}, "
+                  f"{len(outcomes)} configuration(s) agree")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--skip-students", action="store_true",
+                        help="gate only the stress workloads")
+    parser.add_argument("--detectors", nargs="*", default=list(DETECTORS),
+                        choices=DETECTORS)
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="print one line per workload")
+    options = parser.parse_args(argv)
+
+    failures = []
+    checked = 0
+    print("incremental differential gate: incremental vs full replay vs "
+          "re-execution (repair pipeline)")
+    stress = _load_stress_programs()
+    print(f"stress workloads ({len(stress)}, with stride edge cases):")
+    for name, (source, inputs) in stress.items():
+        failures += check_workload(name, source, inputs["test"],
+                                   options.detectors, options.verbose,
+                                   strides=True)
+        checked += 1
+    if not options.skip_students:
+        sources = population_sources()
+        print(f"student corpus ({len(sources)}):")
+        for name, source in sources:
+            failures += check_workload(name, source, STUDENT_ARGS,
+                                       options.detectors, options.verbose)
+            checked += 1
+
+    print(f"checked {checked} workload(s): {len(failures)} mismatch(es)")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -105,7 +105,8 @@ def _job_from_options(kind: str, options: argparse.Namespace) -> "Job":
         algorithm=options.algorithm,
         strip_finishes=options.strip_finishes,
         max_iterations=getattr(options, "max_iterations", 20),
-        replay=getattr(options, "replay", None))
+        replay=getattr(options, "replay", None),
+        incremental=getattr(options, "incremental", None))
 
 
 def _run_json_mode(kind: str, options: argparse.Namespace) -> int:
@@ -177,8 +178,14 @@ def _repair_text(options: argparse.Namespace) -> int:
     args = [_parse_arg(a) for a in options.arg]
     result = repair_program(program, args, algorithm=options.algorithm,
                             max_iterations=options.max_iterations,
-                            reuse_trace=options.replay)
+                            reuse_trace=options.replay,
+                            incremental=options.incremental)
     print(result.summary(), file=sys.stderr)
+    if result.replay_fallbacks:
+        print(f"  {len(result.replay_fallbacks)} replay fallback(s) to "
+              "re-execution:", file=sys.stderr)
+        for reason in result.replay_fallbacks:
+            print(f"    - {reason}", file=sys.stderr)
     for iteration in result.iterations:
         how = "replayed" if iteration.detection.replayed else "executed"
         print(f"  iteration {iteration.index}: "
@@ -366,7 +373,8 @@ def _cmd_batch(options: argparse.Namespace) -> int:
                 args=args, algorithm=options.algorithm,
                 strip_finishes=options.strip_finishes,
                 max_iterations=options.max_iterations,
-                replay=options.replay, timeout_s=options.timeout)
+                replay=options.replay, incremental=options.incremental,
+                timeout_s=options.timeout)
             for path in files]
     cache = None
     if not options.no_cache:
@@ -495,6 +503,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_repair.add_argument("--no-replay", dest="replay", action="store_false",
                           help="re-execute the program for every "
                                "re-detection instead of replaying the trace")
+    p_repair.add_argument("--incremental", dest="incremental",
+                          action="store_true", default=None,
+                          help="re-detect incrementally against the previous "
+                               "iteration's detector state (the default; "
+                               "REPRO_INCREMENTAL=0 flips the process "
+                               "default); requires replay")
+    p_repair.add_argument("--no-incremental", dest="incremental",
+                          action="store_false",
+                          help="re-scan the whole trace on every replayed "
+                               "re-detection")
     p_repair.add_argument("--timings", action="store_true",
                           help="print the telemetry span tree and runtime "
                                "counters to stderr afterwards")
@@ -575,6 +593,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("--replay", dest="replay", action="store_true",
                          default=None)
     p_batch.add_argument("--no-replay", dest="replay",
+                         action="store_false")
+    p_batch.add_argument("--incremental", dest="incremental",
+                         action="store_true", default=None)
+    p_batch.add_argument("--no-incremental", dest="incremental",
                          action="store_false")
     p_batch.add_argument("--timeout", type=float, default=None,
                          help="per-job wall-clock budget in seconds")

@@ -131,6 +131,22 @@ def _numpy_for(n_accesses: int):
     return _numpy_module()
 
 
+def _dup_mask_for(trace: "ExecutionTrace") -> Optional[bytes]:
+    """The numpy duplicate mask for ``trace`` (or ``None`` for the stdlib
+    stamp-dict path), cached on the trace: the mask depends only on the
+    recorded segments, not on injected finishes, so every replay
+    iteration over one trace shares a single computation."""
+    np = _numpy_for(len(trace.acodes))
+    if np is None:
+        return None
+    cache = trace.replay_cache()
+    mask = cache.get("dup_mask")
+    if mask is None:
+        mask = cache["dup_mask"] = _dup_mask_numpy(
+            np, trace.starts, len(trace.kinds), trace.acodes)
+    return mask
+
+
 def _dup_mask_numpy(np, starts: List[int], n_events: int,
                     acodes: List[int]) -> bytes:
     """Batch duplicate filter: ``mask[i] == 1`` iff access ``i`` repeats
@@ -379,6 +395,19 @@ class _ArrayDetectorBase:
     def race_row_count(self) -> int:
         return len(self._race_rows)
 
+    def _base_snapshot(self) -> tuple:
+        # Rows are append-only during a scan, so the snapshot keeps a
+        # reference plus a cursor instead of copying them; the dedup
+        # structures are mutated in place and must be copied.
+        return (dict(self._seen), set(self._race_keys),
+                self._race_rows, len(self._race_rows))
+
+    def _restore_base(self, snap: tuple) -> None:
+        seen, keys, rows_src, rows_len = snap
+        self._seen = dict(seen)
+        self._race_keys = set(keys)
+        self._race_rows = list(rows_src[:rows_len])
+
 
 class ArrayMrwDetector(_ArrayDetectorBase):
     """MRW ESP-bags over int streams: all accessors kept per location,
@@ -418,6 +447,31 @@ class ArrayMrwDetector(_ArrayDetectorBase):
                          self._w_clock[aid], self._w_wcount[aid],
                          self._w_rcount[aid]]
         return out
+
+    def snapshot(self) -> tuple:
+        """Copy the complete detector state for a resumable checkpoint
+        (summary dicts, clean-scan fingerprints, dedup state, race-row
+        cursor).  ``restore_snapshot`` on a fresh detector reproduces
+        the exact mid-scan state, bit for bit."""
+        return ("mrw",
+                [None if d is None else dict(d) for d in self._writers],
+                [None if d is None else dict(d) for d in self._readers],
+                self._r_clock[:], self._r_wcount[:],
+                self._w_clock[:], self._w_wcount[:], self._w_rcount[:],
+                self._base_snapshot())
+
+    def restore_snapshot(self, snap: tuple) -> None:
+        tag, writers, readers, rc, rwc, wc, wwc, wrc, base = snap
+        if tag != "mrw":  # pragma: no cover - defensive
+            raise ValueError(f"snapshot is {tag!r}, detector is mrw")
+        self._writers = [None if d is None else dict(d) for d in writers]
+        self._readers = [None if d is None else dict(d) for d in readers]
+        self._r_clock = list(rc)
+        self._r_wcount = list(rwc)
+        self._w_clock = list(wc)
+        self._w_wcount = list(wwc)
+        self._w_rcount = list(wrc)
+        self._restore_base(base)
 
     def make_segment(self):
         """Build the per-segment transition function, with all detector
@@ -646,6 +700,30 @@ class ArraySrwDetector(_ArrayDetectorBase):
                          self._r_clock[aid]]
         return out
 
+    def snapshot(self) -> tuple:
+        """See :meth:`ArrayMrwDetector.snapshot`; SRW state is the eight
+        flat occupant/fingerprint arrays plus the shared base state."""
+        return ("srw",
+                self._w_task[:], self._w_ord[:], self._w_step[:],
+                self._w_clock[:],
+                self._r_task[:], self._r_ord[:], self._r_step[:],
+                self._r_clock[:],
+                self._base_snapshot())
+
+    def restore_snapshot(self, snap: tuple) -> None:
+        (tag, wt, wo, ws, wc, rt, ro, rs, rc, base) = snap
+        if tag != "srw":  # pragma: no cover - defensive
+            raise ValueError(f"snapshot is {tag!r}, detector is srw")
+        self._w_task = list(wt)
+        self._w_ord = list(wo)
+        self._w_step = list(ws)
+        self._w_clock = list(wc)
+        self._r_task = list(rt)
+        self._r_ord = list(ro)
+        self._r_step = list(rs)
+        self._r_clock = list(rc)
+        self._restore_base(base)
+
     def make_segment(self):
         """Build the per-segment transition function — see
         :meth:`ArrayMrwDetector.make_segment` for the closure rationale;
@@ -815,9 +893,15 @@ class ArrayDetection:
     """One completed array-core pass: race rows, array S-DPST, and the
     lazy materialization the consumers share."""
 
-    def __init__(self, detector, arrays: _DpstArrays) -> None:
+    def __init__(self, detector, arrays: _DpstArrays,
+                 bags: Optional[BagManager] = None) -> None:
         self.detector = detector
         self._arrays = arrays
+        #: the run's bag manager — ``detector.bags`` normally, but a
+        #: structure-only pass (``detect=False``) has no detector and
+        #: still runs the full bag-transition sequence.
+        self.bags = bags if bags is not None else (
+            detector.bags if detector is not None else None)
         #: total S-DPST nodes, known without materializing the tree.
         self.node_count = arrays.count + 1
         self._dpst: Optional[Dpst] = None
@@ -850,7 +934,8 @@ class ArrayDetection:
 
 
 def run_arraycore(trace: ExecutionTrace, algorithm: str,
-                  chains: Optional[Dict[int, Tuple]] = None
+                  chains: Optional[Dict[int, Tuple]] = None, *,
+                  detect: bool = True, collect=None, resume=None
                   ) -> ArrayDetection:
     """Run batch S-DPST maintenance + ESP-bags detection over a trace.
 
@@ -860,12 +945,19 @@ def run_arraycore(trace: ExecutionTrace, algorithm: str,
     The loop mirrors the object builder's event handling exactly; per
     access-bearing segment it makes one structural bookkeeping call and
     one detector batch call.
-    """
-    detector = make_array_detector(algorithm, trace)
-    arrays = _DpstArrays()
-    bags = detector.bags
-    bags.make_s_bag(0)  # task_begin(root), as in DpstBuilder.__init__
 
+    Three incremental-re-detection hooks (:mod:`repro.races.incremental`):
+
+    * ``detect=False`` runs a *structure-only* pass — every builder and
+      bag transition, no access scanning.  The S-DPST arrays come out
+      bit-identical to a detecting pass at a fraction of the cost (the
+      MRW fast path re-derives race rows from them).
+    * ``collect`` (an ``IncrementalState``) records the step index of
+      every access-bearing event and captures detector checkpoints at
+      ``K_EXIT_FINISH`` boundaries at the state's stride.
+    * ``resume`` (a restored checkpoint) starts the loop mid-trace with
+      the arrays, bags, detector, and open-chain bookkeeping it carries.
+    """
     kinds = trace.kinds
     payloads = trace.payloads
     pends = trace.pends
@@ -874,10 +966,34 @@ def run_arraycore(trace: ExecutionTrace, algorithm: str,
     n_events = len(kinds)
     n_accesses = len(trace.acodes)
 
-    np = _numpy_for(n_accesses)
-    if np is not None:
-        detector._dup = _dup_mask_numpy(np, starts, n_events,
-                                        trace.acodes)
+    if resume is not None:
+        detector = resume.detector
+        arrays = resume.arrays
+        bags = resume.bags
+        tasks = resume.tasks
+        finish_keys = resume.finish_keys
+        frames = resume.frames
+        cur = resume.cur
+        debt = resume.debt
+        start_event = resume.start_event
+    else:
+        detector = make_array_detector(algorithm, trace) if detect else None
+        arrays = _DpstArrays()
+        if detector is not None:
+            bags = detector.bags
+        else:
+            bags = BagManager()
+            bags.register_finish(_IMPLICIT_FINISH)
+        bags.make_s_bag(0)  # task_begin(root), as in DpstBuilder.__init__
+        tasks = [0]
+        finish_keys = [_IMPLICIT_FINISH]
+        frames = []
+        cur = _EMPTY
+        debt = 0
+        start_event = 0
+
+    if detector is not None and detector._dup is None:
+        detector._dup = _dup_mask_for(trace)
 
     costs = arrays.cost
     seg_step = arrays.seg_step
@@ -885,17 +1001,20 @@ def run_arraycore(trace: ExecutionTrace, algorithm: str,
     enter_finish = arrays.enter_finish
     enter_scope = arrays.enter_scope
     pop = arrays.pop
-    segment = detector.make_segment()
+    segment = detector.make_segment() if detector is not None else None
     make_s_bag = bags.make_s_bag
     task_ends = bags.task_ends
     register_finish = bags.register_finish
     finish_ends = bags.finish_ends
 
-    tasks = [0]
-    finish_keys: List[Any] = [_IMPLICIT_FINISH]
-    frames: List[Tuple] = []
-    cur: Tuple = _EMPTY
-    debt = 0
+    if collect is not None:
+        soe_append = collect.step_of_event.append
+        ckpt_at = (collect.next_checkpoint_at if detector is not None
+                   else n_events + 1)
+    else:
+        soe_append = None
+        ckpt_at = n_events + 1
+
     has_chains = bool(chains)
     chains_get = chains.get if chains else None
 
@@ -907,7 +1026,7 @@ def run_arraycore(trace: ExecutionTrace, algorithm: str,
     if gc_was_enabled:
         gc.disable()
     try:
-        for j in range(n_events):
+        for j in range(start_event, n_events):
             kind = kinds[j]
             if kind == K_AT:
                 nid = payloads[j]
@@ -999,9 +1118,19 @@ def run_arraycore(trace: ExecutionTrace, algorithm: str,
                 step = seg_step()
                 if cost:
                     costs[step] += cost
-                segment(lo, hi, step, tasks[-1])
-            elif cost:
-                costs[seg_step()] += cost
+                if segment is not None:
+                    segment(lo, hi, step, tasks[-1])
+                if soe_append is not None:
+                    soe_append(step)
+            else:
+                if cost:
+                    costs[seg_step()] += cost
+                if soe_append is not None:
+                    soe_append(-1)
+            if kind == K_EXIT_FINISH and j >= ckpt_at:
+                ckpt_at = collect.checkpoint(j, arrays, bags, detector,
+                                             tasks, finish_keys, frames,
+                                             cur, debt)
         # Defensive: a well-formed trace closes every scope, so no
         # injected finish can still be open here.
         for _ in range(len(cur)):  # pragma: no cover - unreachable
@@ -1014,5 +1143,6 @@ def run_arraycore(trace: ExecutionTrace, algorithm: str,
         if gc_was_enabled:
             gc.enable()
 
-    detector.monitored_accesses = n_accesses
-    return ArrayDetection(detector, arrays)
+    if detector is not None:
+        detector.monitored_accesses = n_accesses
+    return ArrayDetection(detector, arrays, bags=bags)

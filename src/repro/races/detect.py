@@ -91,6 +91,10 @@ class DetectionResult:
         #: True when this result came from trace replay, not execution.
         self.replayed = replayed
         self._node_count = node_count
+        #: an :class:`~repro.races.incremental.IncrementalState` when the
+        #: detection collected one (incremental repair loops thread it
+        #: into the next iteration's replay); ``None`` otherwise.
+        self.inc_state = None
 
     @property
     def dpst(self) -> Dpst:
@@ -147,7 +151,8 @@ def detect_races(program: ast.Program, args: Sequence[Any] = (),
                  max_ops: int = 200_000_000,
                  engine: Optional[str] = None,
                  record_trace: bool = False,
-                 core: Optional[str] = None) -> DetectionResult:
+                 core: Optional[str] = None,
+                 incremental: bool = False) -> DetectionResult:
     """Run ``main(*args)`` sequentially and report all data races.
 
     ``algorithm`` selects ``"mrw"`` (default, complete in one run) or
@@ -161,7 +166,10 @@ def detect_races(program: ast.Program, args: Sequence[Any] = (),
     runs on the object core.  With ``record_trace=True`` the run
     additionally records an execution trace (``result.trace``) that
     :func:`~repro.races.replay.replay_detection` can re-detect from after
-    finish insertions, without re-executing the program.
+    finish insertions, without re-executing the program.  With
+    ``incremental=True`` (array core + ``record_trace`` only) the result
+    additionally carries the ``inc_state`` baseline that incremental
+    replay re-detects against.
     """
     if core is not None and core not in CORES:
         raise ValueError(f"unknown detection core {core!r}; "
@@ -172,7 +180,8 @@ def detect_races(program: ast.Program, args: Sequence[Any] = (),
         chosen = "object"
     if chosen == "array":
         return _detect_races_array(program, args, algorithm, seed,
-                                   max_ops, engine, record_trace)
+                                   max_ops, engine, record_trace,
+                                   incremental)
     if detector is None:
         detector = make_detector(algorithm)
     start = time.perf_counter()
@@ -232,8 +241,8 @@ def detect_races(program: ast.Program, args: Sequence[Any] = (),
 
 def _detect_races_array(program: ast.Program, args: Sequence[Any],
                         algorithm: str, seed: int, max_ops: int,
-                        engine: Optional[str],
-                        record_trace: bool) -> DetectionResult:
+                        engine: Optional[str], record_trace: bool,
+                        incremental: bool = False) -> DetectionResult:
     """The array-core detection path: buffer the observer stream into
     the packed encoding during the run, then detect over it in batch."""
     from ..runtime.recorder import TraceBuffer
@@ -258,8 +267,13 @@ def _detect_races_array(program: ast.Program, args: Sequence[Any],
             with telemetry.span("execute", engine=interp.engine):
                 execution = interp.run(args)
             trace = buffer.trace()
+            collect = None
+            if incremental and record_trace:
+                from .incremental import IncrementalState
+
+                collect = IncrementalState(trace, algorithm)
             with telemetry.span("detect"):
-                run = run_arraycore(trace, algorithm)
+                run = run_arraycore(trace, algorithm, collect=collect)
             with telemetry.span("dpst"):
                 # Materializes only the step nodes the races touch (the
                 # report needs their identities); the full tree stays a
@@ -278,5 +292,12 @@ def _detect_races_array(program: ast.Program, args: Sequence[Any],
             kept = trace
         _harvest_counters(execution, run.node_count, run.detector, report)
     elapsed = time.perf_counter() - start
-    return DetectionResult(execution, dpst, report, run.detector, elapsed,
-                           trace=kept, node_count=run.node_count)
+    result = DetectionResult(execution, dpst, report, run.detector, elapsed,
+                             trace=kept, node_count=run.node_count)
+    if collect is not None:
+        from .incremental import finalize_state
+
+        result.inc_state = finalize_state(collect, run, None)
+        telemetry.counter("incremental.checkpoints",
+                          len(collect.checkpoints))
+    return result

@@ -31,6 +31,8 @@ from __future__ import annotations
 import time
 from typing import Dict, Tuple
 
+from typing import Optional
+
 from .. import telemetry
 from ..errors import ReplayError
 from ..lang import ast
@@ -38,6 +40,12 @@ from ..runtime.interpreter import ExecutionResult
 from ..runtime.recorder import ExecutionTrace
 from .arraycore import run_arraycore
 from .detect import DetectionResult
+from .incremental import (
+    IncrementalMiss,
+    IncrementalState,
+    finalize_state,
+    incremental_replay,
+)
 
 _EMPTY: Tuple[ast.FinishStmt, ...] = ()
 
@@ -76,44 +84,115 @@ def _injection_chains(program: ast.Program, recorded_finish_nids
     return chains
 
 
-def replay_detection(trace: ExecutionTrace, program: ast.Program,
-                     algorithm: str = "mrw") -> DetectionResult:
-    """Re-detect races for ``program`` from a trace of a previous run.
-
-    ``program`` must be the recorded program with zero or more synthetic
-    ``finish`` statements inserted (the repair engine's only edit); any
-    other divergence raises :class:`~repro.errors.ReplayError`.
+def _validate_stmt_nids(trace: ExecutionTrace, program: ast.Program) -> None:
+    """Every trace statement nid must exist in ``program`` — else the
+    edit was not a pure finish insertion.  The AST walk is cached per
+    (trace, program) identity: the repair loop replays the *same*
+    program object many times, and finish insertion only ever adds nids,
+    so a pass can never be invalidated.  The cache value keeps a strong
+    reference to the program so an id() can't be recycled while cached.
     """
-    with telemetry.span("replay", algorithm=algorithm):
-        return _replay_detection(trace, program, algorithm)
-
-
-def _replay_detection(trace: ExecutionTrace, program: ast.Program,
-                      algorithm: str) -> DetectionResult:
-    start = time.perf_counter()
-    if algorithm not in ("srw", "mrw"):
-        raise ReplayError(
-            f"replay supports the 'srw' and 'mrw' detectors, "
-            f"not {algorithm!r}")
+    cache = trace.replay_cache()
+    validated = cache.get("validated_programs")
+    if validated is None:
+        validated = cache["validated_programs"] = {}
+    hit = validated.get(id(program))
+    if hit is not None and hit is program:
+        return
     missing = trace.stmt_nids - {n.nid for n in ast.walk(program)}
     if missing:
         raise ReplayError(
             f"trace references {len(missing)} statement id(s) not present "
             "in the program; the trace was recorded from a different "
             "program or the edit was not a pure finish insertion")
+    validated[id(program)] = program
+
+
+def replay_detection(trace: ExecutionTrace, program: ast.Program,
+                     algorithm: str = "mrw", *,
+                     incremental: bool = False,
+                     baseline: Optional[IncrementalState] = None
+                     ) -> DetectionResult:
+    """Re-detect races for ``program`` from a trace of a previous run.
+
+    ``program`` must be the recorded program with zero or more synthetic
+    ``finish`` statements inserted (the repair engine's only edit); any
+    other divergence raises :class:`~repro.errors.ReplayError`.
+
+    With ``incremental=True`` the result additionally carries an
+    ``inc_state`` for the next iteration, and when ``baseline`` (the
+    previous iteration's state) is usable the re-detection only touches
+    what the newest finish insertions changed — falling back to a full
+    replay on any :class:`~repro.races.incremental.IncrementalMiss`.
+    The report, S-DPST, and execution view are bit-identical either way.
+    """
+    with telemetry.span("replay", algorithm=algorithm,
+                        incremental=incremental):
+        return _replay_detection(trace, program, algorithm, incremental,
+                                 baseline)
+
+
+def _replay_detection(trace: ExecutionTrace, program: ast.Program,
+                      algorithm: str, incremental: bool = False,
+                      baseline: Optional[IncrementalState] = None
+                      ) -> DetectionResult:
+    start = time.perf_counter()
+    if algorithm not in ("srw", "mrw"):
+        raise ReplayError(
+            f"replay supports the 'srw' and 'mrw' detectors, "
+            f"not {algorithm!r}")
+    _validate_stmt_nids(trace, program)
     chains = _injection_chains(program, trace.finish_nids)
-    run = run_arraycore(trace, algorithm, chains=chains)
+
+    run = None
+    inc_state = None
+    if incremental:
+        try:
+            run, inc_state, stats = incremental_replay(
+                trace, algorithm, chains, baseline)
+        except IncrementalMiss as exc:
+            telemetry.counter("incremental.fallbacks")
+            with telemetry.span("incremental_fallback", error=str(exc),
+                                algorithm=algorithm):
+                pass
+        else:
+            if stats["mode"] == "fast":
+                telemetry.counter("incremental.hits")
+            else:
+                telemetry.counter("incremental.resumes")
+            telemetry.counter("incremental.window_events",
+                              stats["window_events"])
+            telemetry.counter("incremental.events_total",
+                              stats["events_total"])
+            telemetry.counter("incremental.rows_rechecked",
+                              stats["rows_rechecked"])
+            telemetry.counter("incremental.rows_synthesized",
+                              stats["rows_synthesized"])
+            telemetry.counter("incremental.checkpoints",
+                              stats["checkpoints"])
+    if run is None:
+        collect = IncrementalState(trace, algorithm) if incremental else None
+        run = run_arraycore(trace, algorithm, chains=chains, collect=collect)
+        if collect is not None:
+            inc_state = finalize_state(collect, run, chains)
+            telemetry.counter("incremental.checkpoints",
+                              len(collect.checkpoints))
     report = run.report()
     dpst = run.dpst_handle()
 
-    execution = ExecutionResult(list(trace.output), trace.ops, trace.value)
+    # The execution view shares the trace's stored output list — replay
+    # consumers only read it, and copying it per iteration measurably
+    # taxed the repair loop.
+    execution = ExecutionResult(trace.output, trace.ops, trace.value)
     telemetry.counter("replay.events", len(trace.kinds))
     telemetry.counter("replay.accesses", len(trace.acodes))
     telemetry.counter("dpst.nodes", run.node_count)
     telemetry.counter("detector.races", len(report))
     telemetry.counter("detector.monitored_accesses",
                       run.detector.monitored_accesses)
-    telemetry.counter("detector.bag_unions", run.detector.bags.unions)
+    telemetry.counter("detector.bag_unions", run.bags.unions)
     elapsed = time.perf_counter() - start
-    return DetectionResult(execution, dpst, report, run.detector, elapsed,
-                           replayed=True, node_count=run.node_count)
+    result = DetectionResult(execution, dpst, report, run.detector, elapsed,
+                             replayed=True, node_count=run.node_count)
+    result.inc_state = inc_state
+    return result

@@ -59,6 +59,19 @@ def replay_enabled_default() -> bool:
     return value not in ("0", "false", "off", "no")
 
 
+def incremental_enabled_default() -> bool:
+    """The process-wide incremental re-detection default: on unless
+    ``REPRO_INCREMENTAL`` says no (same convention as ``REPRO_REPLAY``).
+
+    Incremental mode only applies where replay applies (the ESP-bags
+    detectors with ``reuse_trace`` on); it changes re-detection cost,
+    never results — every incremental pass is bit-identical to a full
+    replay, with an automatic full-replay fallback on structural misses.
+    """
+    value = os.environ.get("REPRO_INCREMENTAL", "").strip().lower()
+    return value not in ("0", "false", "off", "no")
+
+
 class NslcaPlacement:
     """What the DP decided at one NS-LCA (kept for reports/debugging)."""
 
@@ -95,13 +108,17 @@ class RepairResult:
 
     def __init__(self, original: ast.Program, repaired: ast.Program,
                  iterations: List[RepairIteration],
-                 final_detection: DetectionResult, converged: bool) -> None:
+                 final_detection: DetectionResult, converged: bool,
+                 replay_fallbacks: Optional[List[str]] = None) -> None:
         self.original = original
         self.repaired = repaired
         self.iterations = iterations
         #: the confirming race-free detection run
         self.final_detection = final_detection
         self.converged = converged
+        #: ReplayError messages from replays abandoned for re-execution
+        #: during this repair (empty in the common case).
+        self.replay_fallbacks: List[str] = replay_fallbacks or []
 
     @property
     def repaired_source(self) -> str:
@@ -162,6 +179,8 @@ class RepairResult:
             "repair_time_s": self.repair_time_s,
             "dpst_node_count": self.dpst_node_count,
             "summary": self.summary(),
+            "replay_fallback_count": len(self.replay_fallbacks),
+            "replay_fallbacks": list(self.replay_fallbacks),
             "iterations": [{
                 "index": it.index,
                 "race_count": it.race_count,
@@ -192,7 +211,8 @@ class RepairEngine:
     def __init__(self, algorithm: str = "mrw", max_iterations: int = 20,
                  seed: int = 20140609, max_ops: int = 200_000_000,
                  trace_roundtrip: bool = True,
-                 reuse_trace: Optional[bool] = None) -> None:
+                 reuse_trace: Optional[bool] = None,
+                 incremental: Optional[bool] = None) -> None:
         if max_iterations < 1:
             raise ValueError("max_iterations must be >= 1")
         self.algorithm = algorithm
@@ -208,6 +228,12 @@ class RepairEngine:
         #: re-detection instead of re-executing (only the ESP-bags
         #: detectors support replay; anything else re-executes).
         self.reuse_trace = bool(reuse_trace) and algorithm in ("mrw", "srw")
+        if incremental is None:
+            incremental = incremental_enabled_default()
+        #: re-detect incrementally against the previous iteration's
+        #: detector state instead of re-scanning the whole trace
+        #: (requires replay; results are bit-identical either way).
+        self.incremental = bool(incremental) and self.reuse_trace
 
     # ------------------------------------------------------------------
 
@@ -224,13 +250,20 @@ class RepairEngine:
         previous_pairs: Optional[int] = None
         stalled = 0
         trace = None
+        # Incremental re-detection baseline (previous iteration's detector
+        # state) and the repair's replay-fallback log — both scoped to
+        # this one repair: the engine object is reused across programs.
+        inc_state = None
+        fallbacks: List[str] = []
         for iteration in range(self.max_iterations):
             with telemetry.span("iteration", index=iteration) as it_span:
-                detection, trace = self._detect(work, args, trace)
+                detection, trace, inc_state = self._detect(
+                    work, args, trace, inc_state, fallbacks)
                 if detection.report.is_race_free:
                     it_span.annotate(races=0, converged=True)
                     return RepairResult(program, work, iterations, detection,
-                                        converged=True)
+                                        converged=True,
+                                        replay_fallbacks=fallbacks)
                 pair_count = len(detection.report.distinct_step_pairs())
                 if previous_pairs is not None \
                         and pair_count >= previous_pairs:
@@ -264,39 +297,56 @@ class RepairEngine:
             iterations.append(RepairIteration(
                 iteration, detection, placements, edits, elapsed))
         with telemetry.span("final_detection"):
-            final, trace = self._detect(work, args, trace)
+            final, trace, inc_state = self._detect(work, args, trace,
+                                                   inc_state, fallbacks)
         return RepairResult(program, work, iterations, final,
-                            converged=final.report.is_race_free)
+                            converged=final.report.is_race_free,
+                            replay_fallbacks=fallbacks)
 
     # ------------------------------------------------------------------
     # Phase 1: detection (recorded run, then trace replays)
     # ------------------------------------------------------------------
 
     def _detect(self, work: ast.Program, args: Sequence[Any],
-                trace) -> Tuple[DetectionResult, Any]:
+                trace, inc_state=None,
+                fallbacks: Optional[List[str]] = None
+                ) -> Tuple[DetectionResult, Any, Any]:
         """One detection pass: replay the recorded trace when available,
         re-execute (recording on the first pass) otherwise.
 
-        Returns ``(detection, trace)`` where ``trace`` is ``None`` when
-        replay is off or has been abandoned after a
-        :class:`~repro.errors.ReplayError` fallback.
+        Returns ``(detection, trace, inc_state)`` where ``trace`` is
+        ``None`` when replay is off or has been abandoned after a
+        :class:`~repro.errors.ReplayError` fallback, and ``inc_state``
+        is the incremental-re-detection baseline for the next pass
+        (``None`` unless ``self.incremental``).
         """
         if trace is not None:
             from ..races.replay import replay_detection
 
             try:
-                return replay_detection(trace, work,
-                                        algorithm=self.algorithm), trace
-            except ReplayError:
+                detection = replay_detection(trace, work,
+                                             algorithm=self.algorithm,
+                                             incremental=self.incremental,
+                                             baseline=inc_state)
+                return detection, trace, detection.inc_state
+            except ReplayError as exc:
                 # Fall back to re-execution; that run records a fresh
                 # trace of the current program, so replay resumes from a
-                # valid baseline on the next pass.
+                # valid baseline on the next pass.  Counters carry no
+                # payload, so the abandoned replay's reason rides on an
+                # adjacent zero-length span and the repair result.
                 telemetry.counter("repair.replay_fallbacks")
+                with telemetry.span("replay_fallback", error=str(exc),
+                                    algorithm=self.algorithm):
+                    pass
+                if fallbacks is not None:
+                    fallbacks.append(str(exc))
                 trace = None
         detection = detect_races(work, args, algorithm=self.algorithm,
                                  seed=self.seed, max_ops=self.max_ops,
-                                 record_trace=self.reuse_trace)
-        return detection, detection.trace
+                                 record_trace=self.reuse_trace,
+                                 incremental=self.incremental)
+        return detection, detection.trace, detection.inc_state
 
     # ------------------------------------------------------------------
     # Phase 2 + 3: placements
@@ -544,11 +594,14 @@ def repair_program(program: ast.Program, args: Sequence[Any] = (),
                    algorithm: str = "mrw", max_iterations: int = 20,
                    seed: int = 20140609, max_ops: int = 200_000_000,
                    trace_roundtrip: bool = True,
-                   reuse_trace: Optional[bool] = None) -> RepairResult:
+                   reuse_trace: Optional[bool] = None,
+                   incremental: Optional[bool] = None) -> RepairResult:
     """One-call repair: returns a race-free (for ``args``) program copy.
 
     ``reuse_trace`` selects trace replay for re-detections (``None`` =
-    the ``REPRO_REPLAY`` process default, which is on).  Raises
+    the ``REPRO_REPLAY`` process default, which is on); ``incremental``
+    selects incremental re-detection on top of replay (``None`` = the
+    ``REPRO_INCREMENTAL`` process default, which is on).  Raises
     :class:`~repro.errors.RepairError` when no finish insertion can
     repair the program (e.g. the race is between two halves of one loop
     iteration range that no lexical finish can separate).
@@ -556,5 +609,6 @@ def repair_program(program: ast.Program, args: Sequence[Any] = (),
     engine = RepairEngine(algorithm=algorithm, max_iterations=max_iterations,
                           seed=seed, max_ops=max_ops,
                           trace_roundtrip=trace_roundtrip,
-                          reuse_trace=reuse_trace)
+                          reuse_trace=reuse_trace,
+                          incremental=incremental)
     return engine.repair(program, args)

@@ -63,7 +63,7 @@ class ExecutionTrace:
 
     __slots__ = ("kinds", "payloads", "pends", "starts", "segcosts",
                  "acodes", "anodes", "addr_table", "_stmt_nids",
-                 "_finish_nids", "output", "ops", "value")
+                 "_finish_nids", "output", "ops", "value", "_replay_cache")
 
     def __init__(self, kinds, payloads, pends, starts, segcosts,
                  acodes, anodes, addr_table) -> None:
@@ -79,6 +79,7 @@ class ExecutionTrace:
         # first use so the first-run detection path never pays for them.
         self._stmt_nids = None
         self._finish_nids = None
+        self._replay_cache = None
         # Execution-result fields, filled in by the recording run's driver.
         self.output: List[str] = []
         self.ops = 0
@@ -107,6 +108,20 @@ class ExecutionTrace:
                 payloads[j].nid for j, k in enumerate(self.kinds)
                 if k == K_ENTER_FINISH}
         return nids
+
+    def replay_cache(self) -> dict:
+        """Mutable scratch dict scoped to this trace's lifetime.
+
+        Replay and the array core park per-trace derived artifacts here
+        (duplicate-access mask, first-occurrence event map, validated
+        program nid-sets) so repeated repair iterations over the same
+        trace don't recompute them.  Keys are owned by the writers; the
+        trace itself never reads the dict.
+        """
+        cache = self._replay_cache
+        if cache is None:
+            cache = self._replay_cache = {}
+        return cache
 
     @property
     def access_count(self) -> int:

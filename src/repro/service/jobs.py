@@ -77,12 +77,14 @@ class Job:
 
     __slots__ = ("kind", "source", "source_name", "args", "algorithm",
                  "engine", "strip_finishes", "max_iterations", "replay",
-                 "processors", "sequential", "max_ops", "timeout_s")
+                 "incremental", "processors", "sequential", "max_ops",
+                 "timeout_s")
 
     def __init__(self, kind: str, source: str, source_name: str = "<job>",
                  args: Sequence[Any] = (), algorithm: str = "mrw",
                  engine: Optional[str] = None, strip_finishes: bool = False,
                  max_iterations: int = 20, replay: Optional[bool] = None,
+                 incremental: Optional[bool] = None,
                  processors: int = 12, sequential: bool = False,
                  max_ops: int = 200_000_000,
                  timeout_s: Optional[float] = None) -> None:
@@ -100,6 +102,10 @@ class Job:
         #: trace-replay re-detections (repair only); ``None`` = process
         #: default (:func:`repro.repair.engine.replay_enabled_default`).
         self.replay = replay
+        #: incremental re-detection on top of replay (repair only);
+        #: ``None`` = process default
+        #: (:func:`repro.repair.engine.incremental_enabled_default`).
+        self.incremental = incremental
         self.processors = processors
         self.sequential = sequential
         self.max_ops = max_ops
@@ -116,7 +122,8 @@ class Job:
         tested to produce identical results, but a cache must never be
         in a position to mask a divergence.  ``replay`` and
         ``timeout_s`` are excluded: they change how fast an answer
-        arrives, not the answer."""
+        arrives, not the answer.  So is ``incremental``: incremental
+        and full re-detection are tested bit-identical."""
         fields: Dict[str, Any] = {
             "kind": self.kind,
             "args": list(self.args),
@@ -143,6 +150,7 @@ class Job:
             "strip_finishes": self.strip_finishes,
             "max_iterations": self.max_iterations,
             "replay": self.replay,
+            "incremental": self.incremental,
             "processors": self.processors,
             "sequential": self.sequential,
             "max_ops": self.max_ops,
@@ -365,7 +373,8 @@ def run_job(job: Job) -> JobResult:
                                     algorithm=job.algorithm,
                                     max_iterations=job.max_iterations,
                                     max_ops=job.max_ops,
-                                    reuse_trace=job.replay)
+                                    reuse_trace=job.replay,
+                                    incremental=job.incremental)
             payload = repair.to_payload()
         else:  # measure
             from ..graph import measure_program

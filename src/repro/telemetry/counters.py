@@ -25,8 +25,20 @@ Canonical counter names used by the pipeline:
 ``repair.iterations``          detect/place/edit rounds executed
 ``repair.edits``               finish insertion points applied
 ``repair.replay_fallbacks``    replays abandoned for re-execution
+``incremental.checkpoints``    detector-state checkpoints captured
+``incremental.hits``           replays served by the MRW fast path
+``incremental.resumes``        replays resumed from a checkpoint (SRW)
+``incremental.fallbacks``      incremental misses (full re-scan instead)
+``incremental.window_events``  trace events actually re-scanned
+``incremental.events_total``   trace events a full re-scan would cover
+``incremental.rows_rechecked``   baseline race rows re-validated (MHP)
+``incremental.rows_synthesized`` race rows added for split sink steps
 ``schedule.steps``             computation-graph steps scheduled
 =============================  =========================================
+
+The re-scanned window fraction of an incremental repair is
+``incremental.window_events / incremental.events_total`` (0 for pure
+fast-path repairs, which re-scan structure only, no accesses).
 """
 
 from __future__ import annotations

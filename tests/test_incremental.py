@@ -1,0 +1,446 @@
+"""Incremental re-detection (races/incremental.py): differential,
+fallback and stride tests.
+
+Incremental replay must be *indistinguishable* from a full replay and
+from re-execution — identical race reports, identical S-DPST, identical
+placements and byte-identical repaired source — while re-scanning only
+the dirty window (MRW re-scans nothing at all: structure only).  These
+tests enforce that bit-for-bit over the multi-iteration ``stress-*``
+repair workloads and the student-homework corpus, for both ESP-bags
+variants, and pin down every structural-miss fallback path.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+
+import pytest
+
+from repro import telemetry
+from repro.bench.students import (
+    ASSIGNMENT,
+    MATCHED_TEMPLATES,
+    OVERSYNC_TEMPLATES,
+    RACY_TEMPLATES,
+)
+from repro.errors import RepairError
+from repro.lang import parse, strip_finishes
+from repro.races import detect_races
+from repro.races.incremental import (
+    IncrementalMiss,
+    checkpoint_stride,
+    incremental_replay,
+)
+from repro.races.replay import _injection_chains, replay_detection
+from repro.repair import repair_program
+from repro.repair.engine import RepairEngine, incremental_enabled_default
+from tests.test_replay import _placement_sig, dpst_sig, norm_report
+
+ALGORITHMS = ("mrw", "srw")
+
+
+def _load_stress_programs():
+    """The multi-iteration repair workloads from scripts/bench.py —
+    imported from the script itself so the differential matrix always
+    covers exactly what the bench measures."""
+    path = os.path.join(os.path.dirname(__file__), os.pardir,
+                        "scripts", "bench.py")
+    spec = importlib.util.spec_from_file_location("_bench_script", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.STRESS_PROGRAMS
+
+
+STRESS_PROGRAMS = _load_stress_programs()
+STRESS_PARAMS = [pytest.param(name, id=name) for name in STRESS_PROGRAMS]
+
+STUDENT_SOURCES = [
+    pytest.param(source, id=f"student-{i}")
+    for i, (_desc, source) in enumerate(
+        RACY_TEMPLATES + OVERSYNC_TEMPLATES + MATCHED_TEMPLATES)
+]
+
+#: An early *pre-existing* (recorded) finish followed by a racy region:
+#: its ``exit_finish`` event is a checkpoint site before any dirty
+#: window, so SRW incremental replay can resume instead of falling back.
+SRW_RESUME_SOURCE = """
+def main(n) {
+    var a = new int[n];
+    finish {
+        async {
+            for (var i = 0; i < n; i = i + 1) { a[i] = i * 2; }
+        }
+        for (var j = 0; j < n; j = j + 1) { print(j); }
+    }
+    var x = 0;
+    async { x = 1; }
+    x = x + 1;
+}
+"""
+
+
+def _stress_workload(name):
+    source, inputs = STRESS_PROGRAMS[name]
+    return parse(source, source_name=name), inputs["test"]
+
+
+# ----------------------------------------------------------------------
+# Replay-level differential: incremental vs full replay vs re-execution
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("name", STRESS_PARAMS)
+def test_incremental_matches_full_replay_and_reexecution(name, algorithm):
+    program, args = _stress_workload(name)
+    recorded = detect_races(program, args, algorithm=algorithm,
+                            record_trace=True, incremental=True)
+    baseline = recorded.inc_state
+    assert baseline is not None
+    repaired = repair_program(program, args, algorithm=algorithm,
+                              reuse_trace=False).repaired
+    for target in (program, repaired):
+        full = replay_detection(recorded.trace, target, algorithm=algorithm)
+        inc = replay_detection(recorded.trace, target, algorithm=algorithm,
+                               incremental=True, baseline=baseline)
+        fresh = detect_races(target, args, algorithm=algorithm)
+        assert norm_report(inc.report) == norm_report(full.report)
+        assert norm_report(inc.report) == norm_report(fresh.report)
+        assert dpst_sig(inc.dpst) == dpst_sig(full.dpst)
+        assert dpst_sig(inc.dpst) == dpst_sig(fresh.dpst)
+        assert inc.execution.output == fresh.execution.output
+        assert inc.execution.ops == fresh.execution.ops
+        assert inc.inc_state is not None  # usable as the next baseline
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("name", STRESS_PARAMS)
+def test_incremental_state_chains_across_iterations(name, algorithm):
+    """Thread the state through successive edits the way the engine
+    does: each iteration's ``inc_state`` is the next one's baseline."""
+    program, args = _stress_workload(name)
+    recorded = detect_races(program, args, algorithm=algorithm,
+                            record_trace=True, incremental=True)
+    state = recorded.inc_state
+    result = repair_program(program, args, algorithm=algorithm,
+                            reuse_trace=False)
+    assert len(result.iterations) >= 2
+    repaired = result.repaired
+    for target in (repaired,) * 2:  # re-detect twice off the same state
+        full = replay_detection(recorded.trace, target, algorithm=algorithm)
+        inc = replay_detection(recorded.trace, target, algorithm=algorithm,
+                               incremental=True, baseline=state)
+        assert norm_report(inc.report) == norm_report(full.report)
+        assert dpst_sig(inc.dpst) == dpst_sig(full.dpst)
+        state = inc.inc_state
+
+
+# ----------------------------------------------------------------------
+# Repair-pipeline differential: incremental on vs off vs re-execution
+# ----------------------------------------------------------------------
+
+def _assert_incremental_repair_equivalent(make_program, args, algorithm):
+    inc = repair_program(make_program(), args, algorithm=algorithm,
+                         reuse_trace=True, incremental=True)
+    full = repair_program(make_program(), args, algorithm=algorithm,
+                          reuse_trace=True, incremental=False)
+    ree = repair_program(make_program(), args, algorithm=algorithm,
+                         reuse_trace=False)
+    for other in (full, ree):
+        assert inc.converged == other.converged
+        assert len(inc.iterations) == len(other.iterations)
+        assert inc.repaired_source == other.repaired_source
+        assert _placement_sig(inc) == _placement_sig(other)
+        for it_inc, it_other in zip(inc.iterations, other.iterations):
+            assert (norm_report(it_inc.detection.report)
+                    == norm_report(it_other.detection.report))
+    return inc
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("name", STRESS_PARAMS)
+def test_repair_differential_stress(name, algorithm):
+    source, inputs = STRESS_PROGRAMS[name]
+    _assert_incremental_repair_equivalent(
+        lambda: parse(source, source_name=name), inputs["test"], algorithm)
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("source", STUDENT_SOURCES)
+def test_repair_differential_students(source, algorithm):
+    try:
+        _assert_incremental_repair_equivalent(
+            lambda: parse(source), (40,), algorithm)
+    except RepairError:
+        # Unrepairable submissions must be unrepairable in every mode.
+        for kwargs in ({"incremental": False}, {"reuse_trace": False}):
+            with pytest.raises(RepairError):
+                repair_program(parse(source), (40,), algorithm=algorithm,
+                               **kwargs)
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_repair_differential_assignment(algorithm):
+    _assert_incremental_repair_equivalent(
+        lambda: parse(ASSIGNMENT), (40,), algorithm)
+
+
+# ----------------------------------------------------------------------
+# The fast/resume paths actually engage (and say so in telemetry)
+# ----------------------------------------------------------------------
+
+def test_mrw_repair_hits_fast_path():
+    program, args = _stress_workload("stress-nested")
+    with telemetry.session("inc") as tel:
+        result = repair_program(program, args, algorithm="mrw",
+                                reuse_trace=True, incremental=True)
+    assert result.converged and len(result.iterations) >= 2
+    counters = tel.counters.as_dict()
+    # Every post-iteration-0 re-detection took the MRW fast path: no
+    # access events re-scanned, no fallbacks, no replay abandoned.
+    assert counters.get("incremental.hits", 0) >= 2
+    assert counters.get("incremental.fallbacks", 0) == 0
+    assert counters.get("repair.replay_fallbacks", 0) == 0
+    assert counters.get("incremental.window_events", 0) == 0
+    assert counters.get("incremental.events_total", 0) > 0
+    assert result.replay_fallbacks == []
+
+
+def test_srw_repair_resumes_from_checkpoint(monkeypatch):
+    monkeypatch.setenv("REPRO_CKPT_STRIDE", "1")
+    with telemetry.session("inc") as tel:
+        inc = repair_program(parse(SRW_RESUME_SOURCE), (30,),
+                             algorithm="srw", reuse_trace=True,
+                             incremental=True)
+    ree = repair_program(parse(SRW_RESUME_SOURCE), (30,), algorithm="srw",
+                         reuse_trace=False)
+    assert inc.repaired_source == ree.repaired_source
+    counters = tel.counters.as_dict()
+    assert counters.get("incremental.resumes", 0) >= 1
+    assert counters.get("incremental.checkpoints", 0) >= 1
+    # The resume skipped the pre-existing finish region: the re-scanned
+    # window is a strict fraction of the trace.
+    assert 0 < counters["incremental.window_events"] \
+        < counters["incremental.events_total"]
+
+
+def test_srw_without_usable_checkpoint_falls_back():
+    """A finish-free baseline trace has no checkpoint sites before the
+    dirty window, so SRW re-scans fully — with identical results."""
+    program, args = _stress_workload("stress-nested")
+    with telemetry.session("inc") as tel:
+        inc = repair_program(program, args, algorithm="srw",
+                             reuse_trace=True, incremental=True)
+    ree = repair_program(_stress_workload("stress-nested")[0], args,
+                         algorithm="srw", reuse_trace=False)
+    assert inc.repaired_source == ree.repaired_source
+    counters = tel.counters.as_dict()
+    assert counters.get("incremental.resumes", 0) == 0
+    assert counters.get("incremental.fallbacks", 0) >= 1
+    assert counters.get("repair.replay_fallbacks", 0) == 0
+
+
+# ----------------------------------------------------------------------
+# Structural-miss fallbacks
+# ----------------------------------------------------------------------
+
+def _baseline_for(program, args, algorithm="mrw"):
+    recorded = detect_races(program, args, algorithm=algorithm,
+                            record_trace=True, incremental=True)
+    return recorded.trace, recorded.inc_state
+
+
+def test_miss_without_baseline():
+    program, args = _stress_workload("stress-nested")
+    trace, _state = _baseline_for(program, args)
+    chains = _injection_chains(program, trace.finish_nids)
+    with pytest.raises(IncrementalMiss):
+        incremental_replay(trace, "mrw", chains, None)
+
+
+def test_miss_on_foreign_trace_and_algorithm():
+    program, args = _stress_workload("stress-nested")
+    trace, state = _baseline_for(program, args)
+    other_trace, _ = _baseline_for(program, args)
+    chains = _injection_chains(program, trace.finish_nids)
+    with pytest.raises(IncrementalMiss):
+        incremental_replay(other_trace, "mrw", chains, state)
+    with pytest.raises(IncrementalMiss):
+        incremental_replay(trace, "srw", chains, state)
+
+
+def test_shrinking_chains_fall_back_to_full_replay():
+    """A baseline recorded against the *repaired* program, replayed
+    against the original: chains shrink, the subsequence guard trips,
+    and the full replay produces the exact full-scan result."""
+    program, args = _stress_workload("stress-nested")
+    trace, _ = _baseline_for(program, args)
+    repaired = repair_program(program, args, reuse_trace=False).repaired
+    rep_state = replay_detection(trace, repaired, algorithm="mrw",
+                                 incremental=True, baseline=None).inc_state
+    assert rep_state is not None
+    with telemetry.session("inc") as tel:
+        inc = replay_detection(trace, program, algorithm="mrw",
+                               incremental=True, baseline=rep_state)
+    full = replay_detection(trace, program, algorithm="mrw")
+    assert tel.counters.as_dict().get("incremental.fallbacks", 0) == 1
+    assert norm_report(inc.report) == norm_report(full.report)
+    assert dpst_sig(inc.dpst) == dpst_sig(full.dpst)
+
+
+#: Race-dense: every async write races with every other, so the MRW
+#: row count rivals the access count and the row transform would cost
+#: more than a full re-scan.
+DENSE_SOURCE = "def main(n) {\n  var x = 0;\n" + "".join(
+    "  async { x = x + 1; }\n" for _ in range(24)) + "  x = x + 1;\n}\n"
+
+
+def test_race_dense_trace_takes_cost_guard_fallback():
+    """When baseline rows × 4 ≥ accesses the MRW fast path would be
+    slower than re-scanning; the cost guard falls back to full replay —
+    with identical results."""
+    with telemetry.session("inc") as tel:
+        inc = repair_program(parse(DENSE_SOURCE), (40,), algorithm="mrw",
+                             reuse_trace=True, incremental=True)
+    full = repair_program(parse(DENSE_SOURCE), (40,), algorithm="mrw",
+                          reuse_trace=True, incremental=False)
+    assert inc.repaired_source == full.repaired_source
+    counters = tel.counters.as_dict()
+    assert counters.get("incremental.fallbacks", 0) >= 1
+    assert counters.get("incremental.hits", 0) == 0
+    assert counters.get("repair.replay_fallbacks", 0) == 0
+
+
+# ----------------------------------------------------------------------
+# Checkpoint stride: parsing and edge cases
+# ----------------------------------------------------------------------
+
+def test_checkpoint_stride_env(monkeypatch):
+    monkeypatch.delenv("REPRO_CKPT_STRIDE", raising=False)
+    assert checkpoint_stride(800) == 100
+    assert checkpoint_stride(4) == 1
+    for off in ("0", "off", "none"):
+        monkeypatch.setenv("REPRO_CKPT_STRIDE", off)
+        assert checkpoint_stride(800) is None
+    monkeypatch.setenv("REPRO_CKPT_STRIDE", "17")
+    assert checkpoint_stride(800) == 17
+
+
+@pytest.mark.parametrize("stride", ["1", "1000000"])
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_stride_edge_cases(monkeypatch, stride, algorithm):
+    """Stride 1 (checkpoint at every finish exit) and stride far beyond
+    the trace length (no checkpoints at all) both stay bit-identical."""
+    monkeypatch.setenv("REPRO_CKPT_STRIDE", stride)
+    program, args = _stress_workload("stress-nested")
+    inc = repair_program(program, args, algorithm=algorithm,
+                         reuse_trace=True, incremental=True)
+    monkeypatch.delenv("REPRO_CKPT_STRIDE")
+    ree = repair_program(_stress_workload("stress-nested")[0], args,
+                         algorithm=algorithm, reuse_trace=False)
+    assert inc.converged
+    assert inc.repaired_source == ree.repaired_source
+
+
+def test_stride_disabled_still_correct(monkeypatch):
+    monkeypatch.setenv("REPRO_CKPT_STRIDE", "off")
+    program, args = _stress_workload("stress-chain")
+    with telemetry.session("inc") as tel:
+        inc = repair_program(program, args, algorithm="mrw",
+                             reuse_trace=True, incremental=True)
+    monkeypatch.delenv("REPRO_CKPT_STRIDE")
+    ree = repair_program(_stress_workload("stress-chain")[0], args,
+                         algorithm="mrw", reuse_trace=False)
+    assert inc.repaired_source == ree.repaired_source
+    counters = tel.counters.as_dict()
+    assert counters.get("incremental.checkpoints", 0) == 0
+    assert counters.get("incremental.hits", 0) >= 2  # MRW needs none
+
+
+# ----------------------------------------------------------------------
+# Engine/env/CLI toggles and result surfacing
+# ----------------------------------------------------------------------
+
+def test_incremental_env_toggle(monkeypatch):
+    monkeypatch.setenv("REPRO_INCREMENTAL", "0")
+    assert not incremental_enabled_default()
+    assert not RepairEngine().incremental
+    monkeypatch.setenv("REPRO_INCREMENTAL", "off")
+    assert not incremental_enabled_default()
+    monkeypatch.delenv("REPRO_INCREMENTAL")
+    assert incremental_enabled_default()
+    assert RepairEngine().incremental
+    # Explicit argument beats the environment.
+    monkeypatch.setenv("REPRO_INCREMENTAL", "0")
+    assert RepairEngine(incremental=True).incremental
+    monkeypatch.delenv("REPRO_INCREMENTAL")
+    # Incremental rides on replay: no replay (or no ESP-bags) — no
+    # incremental, regardless of the flag.
+    assert not RepairEngine(reuse_trace=False, incremental=True).incremental
+    assert not RepairEngine(algorithm="vc", incremental=True).incremental
+
+
+def test_cli_incremental_flags(tmp_path, capsys):
+    from repro.cli import main as cli_main
+
+    source, inputs = STRESS_PROGRAMS["stress-nested"]
+    path = tmp_path / "prog.hj"
+    path.write_text(source)
+    arg = str(inputs["test"][0])
+    assert cli_main(["repair", str(path), "--arg", arg,
+                     "--incremental"]) == 0
+    first = capsys.readouterr()
+    assert cli_main(["repair", str(path), "--arg", arg,
+                     "--no-incremental"]) == 0
+    second = capsys.readouterr()
+    assert first.out == second.out  # byte-identical repaired source
+
+
+def test_cli_timings_report_fallbacks(tmp_path, capsys, monkeypatch):
+    """--timings surfaces the replay-fallback counter, and a forced
+    fallback's reason reaches the text report."""
+    from repro.cli import main as cli_main
+    import repro.races.replay as replay_mod
+    from repro.errors import ReplayError
+
+    source, inputs = STRESS_PROGRAMS["stress-nested"]
+    path = tmp_path / "prog.hj"
+    path.write_text(source)
+    calls = {"n": 0}
+    real = replay_mod.replay_detection
+
+    def flaky(trace, program, algorithm="mrw", **kwargs):
+        calls["n"] += 1
+        if calls["n"] == 1:
+            raise ReplayError("synthetic incremental test failure")
+        return real(trace, program, algorithm=algorithm, **kwargs)
+
+    monkeypatch.setattr(replay_mod, "replay_detection", flaky)
+    assert cli_main(["repair", str(path), "--arg",
+                     str(inputs["test"][0]), "--timings"]) == 0
+    err = capsys.readouterr().err
+    assert "1 replay fallback(s)" in err
+    assert "synthetic incremental test failure" in err
+    assert "repair.replay_fallbacks" in err
+
+
+def test_repair_payload_carries_fallbacks():
+    program, args = _stress_workload("stress-nested")
+    result = repair_program(program, args, reuse_trace=True,
+                            incremental=True)
+    payload = result.to_payload()
+    assert payload["replay_fallback_count"] == 0
+    assert payload["replay_fallbacks"] == []
+
+
+def test_job_carries_incremental_flag():
+    from repro.service import Job
+
+    source, inputs = STRESS_PROGRAMS["stress-nested"]
+    job = Job("repair", source, args=inputs["test"], incremental=False)
+    data = job.to_dict()
+    assert data["incremental"] is False
+    assert Job.from_dict(data).incremental is False
+    # Speed knobs never enter the cache key.
+    assert "incremental" not in job.semantic_fields()
+    assert "replay" not in job.semantic_fields()

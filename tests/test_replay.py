@@ -269,11 +269,11 @@ def test_engine_falls_back_to_reexecution(monkeypatch):
     calls = {"n": 0}
     real = replay_mod.replay_detection
 
-    def flaky(trace, program, algorithm="mrw"):
+    def flaky(trace, program, algorithm="mrw", **kwargs):
         calls["n"] += 1
         if calls["n"] == 1:
             raise ReplayError("synthetic failure")
-        return real(trace, program, algorithm=algorithm)
+        return real(trace, program, algorithm=algorithm, **kwargs)
 
     monkeypatch.setattr(replay_mod, "replay_detection", flaky)
     program = parse(NESTED_DEFERRAL)

@@ -64,7 +64,7 @@ summaries per phase.
 
 Usage::
 
-    PYTHONPATH=src python scripts/bench.py               # full, writes BENCH_pr8.json
+    PYTHONPATH=src python scripts/bench.py               # full, writes BENCH_pr9.json
     PYTHONPATH=src python scripts/bench.py --quick       # tiny inputs, 1 trial, stdout only
     PYTHONPATH=src python scripts/bench.py --phases repair --programs crypt stress-nested
 """
@@ -87,8 +87,12 @@ from repro.bench.suite import BENCHMARK_ORDER, get_benchmark  # noqa: E402
 DETECTORS = ("mrw", "srw")
 ENGINES = ("tree", "compiled")
 PHASES = ("execute", "detect", "arraycore", "repair", "repair-incremental",
-          "batch")
+          "batch", "service-queue")
 BATCH_WORKERS = (1, 2, 4, 8)
+#: node-process counts for the ``service-queue`` phase (1 vs 2 nodes
+#: draining one durable queue, each with this many pool workers).
+QUEUE_NODES = (1, 2)
+QUEUE_NODE_WORKERS = 2
 #: detection-core cells of the ``arraycore`` phase: label -> (core
 #: argument for detect_races, REPRO_NUMPY environment value).
 CORE_CELLS = {
@@ -249,6 +253,79 @@ def _measure_child(options: argparse.Namespace) -> int:
             "cache_hits": sum(1 for r in results.values() if r.cached),
             "coalesced": sum(1 for r in results.values() if r.coalesced),
             "phases": phases,
+            "repaired_sha256": digest.hexdigest(),
+        }
+        print(json.dumps(record))
+        return 0
+    if options.phase == "service-queue":
+        import shutil
+        import tempfile
+
+        from repro.bench.students import population_sources
+        from repro.service import Job, JobQueue, batch_dedupe_key
+
+        sources = population_sources()
+        if options.args == "test":
+            sources = sources[:12]
+        entry_args = (40,) if options.args == "test" else (75,)
+        jobs = [Job("repair", source, source_name=name, args=entry_args)
+                for name, source in sources]
+        workdir = tempfile.mkdtemp(prefix="bench-queue-")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(p for p in (
+            os.path.abspath(os.path.join(os.path.dirname(__file__),
+                                         "..", "src")),
+            env.get("PYTHONPATH", "")) if p)
+
+        def drain(tag):
+            """Submit the corpus to a fresh queue and time N real node
+            processes draining it against the shared cache directory."""
+            queue_path = os.path.join(workdir, f"{tag}.db")
+            queue = JobQueue(queue_path)
+            batch = f"bench-{tag}"
+            queue.submit_many(((job, batch_dedupe_key(batch, job))
+                               for job in jobs), batch_id=batch)
+            start = time.perf_counter()
+            nodes = [subprocess.Popen(
+                [sys.executable, "-m", "repro.service.node",
+                 "--queue", queue_path,
+                 "--workers", str(QUEUE_NODE_WORKERS),
+                 "--cache-dir", os.path.join(workdir, "cache"),
+                 "--node-id", f"{tag}-n{index}"],
+                env=env, stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL)
+                for index in range(options.nodes)]
+            for node in nodes:
+                node.wait()
+            elapsed = time.perf_counter() - start
+            rows = queue.batch_rows(batch)
+            assert all(row["state"] == "done" for row in rows), \
+                f"queue drain left unfinished jobs: {queue.counts(batch)}"
+            return elapsed, rows
+        try:
+            if options.cache == "on":
+                drain("warmup")  # pre-populate the shared cache, untimed
+            elapsed, rows = drain("measured")
+        finally:
+            shutil.rmtree(workdir, ignore_errors=True)
+        statuses = {}
+        for row in rows:
+            status = row["result"]["status"]
+            statuses[status] = statuses.get(status, 0) + 1
+        digest = hashlib.sha256()
+        for row in sorted(rows, key=lambda r: r["source_name"]):
+            payload = row["result"].get("result") or {}
+            digest.update(row["source_name"].encode("utf-8"))
+            digest.update(payload.get("repaired_source", "")
+                          .encode("utf-8"))
+        record = {
+            "wall_time_s": elapsed,
+            "jobs": len(rows),
+            "jobs_per_sec": round(len(rows) / elapsed, 3)
+            if elapsed > 0 else None,
+            "statuses": statuses,
+            "cache_hits": sum(1 for row in rows
+                              if row["result"].get("cached")),
             "repaired_sha256": digest.hexdigest(),
         }
         print(json.dumps(record))
@@ -432,6 +509,78 @@ def _run_batch_cell(workers: int, cache: str, args_kind: str,
     return row
 
 
+def _run_service_queue_cell(nodes: int, cache: str, args_kind: str,
+                            trials: int) -> dict:
+    """Best-of-N fresh-process queue drains at one (nodes, cache) cell."""
+    cmd = [sys.executable, os.path.abspath(__file__), "--_measure",
+           "--phase", "service-queue", "--nodes", str(nodes),
+           "--cache", cache, "--args", args_kind]
+    best = None
+    for _ in range(trials):
+        out = subprocess.run(cmd, capture_output=True, text=True, check=True)
+        record = json.loads(out.stdout.strip().splitlines()[-1])
+        if best is None or record["wall_time_s"] < best["wall_time_s"]:
+            best = record
+    row = {"phase": "service-queue", "nodes": nodes,
+           "node_workers": QUEUE_NODE_WORKERS, "warm": cache == "on"}
+    row.update(best)
+    row["wall_time_s"] = round(row["wall_time_s"], 4)
+    return row
+
+
+def _service_queue_summary(rows: list) -> dict:
+    """Node scaling and shared-cache effect for the queue tier, plus
+    the cross-cell (and cross-phase, vs batch) result invariant."""
+    cells = {}
+    for row in rows:
+        if row["phase"] != "service-queue":
+            continue
+        cells[(row["warm"], row["nodes"])] = row
+    if not cells:
+        return {}
+    per_mode = {}
+    for warm in (False, True):
+        mode = {n: cells[(w, n)] for w, n in cells if w == warm}
+        if not mode:
+            continue
+        base = mode.get(min(mode))
+        per_mode["cache_warm" if warm else "cache_cold"] = {
+            "jobs_per_sec": {str(n): row["jobs_per_sec"]
+                             for n, row in sorted(mode.items())},
+            "scaling_vs_1_node": {
+                str(n): round(row["jobs_per_sec"] / base["jobs_per_sec"], 2)
+                for n, row in sorted(mode.items())
+                if base["jobs_per_sec"]},
+        }
+    warm_effect = {}
+    for (warm, nodes), row in sorted(cells.items()):
+        if not warm:
+            continue
+        cold = cells.get((False, nodes))
+        if cold and cold["jobs_per_sec"]:
+            warm_effect[str(nodes)] = round(
+                row["jobs_per_sec"] / cold["jobs_per_sec"], 2)
+    digests = {row["repaired_sha256"] for row in cells.values()}
+    batch_digests = {row["repaired_sha256"] for row in rows
+                     if row["phase"] == "batch"}
+    sample = next(iter(cells.values()))
+    return {"service_queue": {
+        **per_mode,
+        "warm_speedup_by_nodes": warm_effect,
+        "cache_hits_warm": max((r["cache_hits"]
+                                for r in cells.values() if r["warm"]),
+                               default=0),
+        "jobs": sample["jobs"],
+        "node_workers": sample["node_workers"],
+        "cpu_count": os.cpu_count(),
+        "all_sources_match": len(digests) == 1,
+        # The queue tier must answer exactly what the in-process pool
+        # answers; None when the batch phase did not run this invocation.
+        "matches_batch_phase": (len(digests | batch_digests) == 1)
+        if batch_digests else None,
+    }}
+
+
 def _batch_summary(rows: list) -> dict:
     """Worker scaling and cache effect for the batch phase, plus the
     cross-cell repaired-source invariant the driver enforces."""
@@ -481,7 +630,7 @@ def _speedup_summary(rows: list) -> dict:
     """Median tree/compiled speedup per (phase, detector) configuration."""
     cells = {}
     for row in rows:
-        if row["phase"] in ("arraycore", "repair", "batch"):
+        if row["phase"] not in ("execute", "detect", "repair-incremental"):
             continue
         key = (row["program"], row["phase"], row["detector"])
         cells.setdefault(key, {})[row["engine"]] = row["wall_time_s"]
@@ -685,7 +834,7 @@ def main(argv=None) -> int:
                         help="detectors for the repair phase (default: mrw, "
                              "the paper's Table-2 configuration)")
     parser.add_argument("--output", default=None,
-                        help="output JSON path (default: BENCH_pr8.json "
+                        help="output JSON path (default: BENCH_pr9.json "
                              "next to the repo root; suppressed by --quick)")
     # Internal: one measurement in a fresh process.
     parser.add_argument("--_measure", action="store_true",
@@ -702,6 +851,8 @@ def main(argv=None) -> int:
     parser.add_argument("--workers", type=int, default=1,
                         help=argparse.SUPPRESS)
     parser.add_argument("--cache", default="off", help=argparse.SUPPRESS)
+    parser.add_argument("--nodes", type=int, default=1,
+                        help=argparse.SUPPRESS)
     options = parser.parse_args(argv)
 
     if options._measure:
@@ -788,12 +939,26 @@ def main(argv=None) -> int:
                       f"hits={row['cache_hits']} "
                       f"coalesced={row['coalesced']}",
                       file=sys.stderr)
+    if "service-queue" in options.phases:
+        for cache in ("off", "on"):
+            for nodes in QUEUE_NODES:
+                row = _run_service_queue_cell(nodes, cache, args_kind,
+                                              trials)
+                rows.append(row)
+                label = "warm" if cache == "on" else "cold"
+                print(f"{'students':14s} service-queue cache={label:4s} "
+                      f"nodes={nodes}  "
+                      f"{row['wall_time_s'] * 1000:9.1f} ms  "
+                      f"{row['jobs_per_sec']:7.2f} jobs/s  "
+                      f"hits={row['cache_hits']}",
+                      file=sys.stderr)
 
     summary = _speedup_summary(rows)
     summary.update(_arraycore_summary(rows))
     summary.update(_repair_summary(rows))
     summary.update(_incremental_summary(rows))
     summary.update(_batch_summary(rows))
+    summary.update(_service_queue_summary(rows))
     document = {
         "meta": {
             "suite": "Table 1 (paper benchmark programs) plus stress-* "
@@ -805,7 +970,10 @@ def main(argv=None) -> int:
                      "= replay-on repair with incremental re-detection "
                      "off vs on; batch = the student "
                      "corpus (repro.bench.students) through the worker "
-                     "pool at 1/2/4/8 workers, cache off/on",
+                     "pool at 1/2/4/8 workers, cache off/on; "
+                     "service-queue = the same corpus through the "
+                     "durable queue drained by 1/2 real node processes, "
+                     "shared cache cold vs pre-warmed",
             "cpu_count": os.cpu_count(),
             "inputs": "test_args" if options.quick else
                       "repair_args (paper Table 1 repair sizes)",
@@ -868,11 +1036,25 @@ def main(argv=None) -> int:
                 failures.append(
                     "batch: repaired sources differ across "
                     "(workers, cache) cells")
+        if config == "service_queue":
+            print(f"service-queue jobs/sec by nodes (cold): "
+                  f"{data['cache_cold']['jobs_per_sec']}; "
+                  f"warm speedup: {data['warm_speedup_by_nodes']} "
+                  f"(node_workers={data['node_workers']})",
+                  file=sys.stderr)
+            if not data["all_sources_match"]:
+                failures.append(
+                    "service-queue: repaired sources differ across "
+                    "(nodes, cache) cells")
+            if data["matches_batch_phase"] is False:
+                failures.append(
+                    "service-queue: queue-tier results differ from "
+                    "the in-process batch phase")
 
     output = options.output
     if output is None and not options.quick:
         output = os.path.join(os.path.dirname(__file__), "..",
-                              "BENCH_pr8.json")
+                              "BENCH_pr9.json")
     if output:
         with open(output, "w", encoding="utf-8") as handle:
             json.dump(document, handle, indent=2, sort_keys=True)

@@ -13,11 +13,17 @@ Examples::
     repro-repair profile program.hj --arg 100 --trace-out trace.json
     repro-repair bench --quick --experiments table4 students
     repro-repair batch submissions/ --workers 4 --arg 40 --json
+    repro-repair batch submissions/ --queue q.db --resume --arg 40
     repro-repair serve --workers 4 --port 8321
+    repro-repair serve --queue q.db --cache-dir cache/ --cache-max-mb 256
+    repro-repair queue submit submissions/ --queue q.db --arg 40
+    repro-repair queue status --queue q.db
 
-The batch service verbs (``batch``, ``serve``) and the ``--json`` output
-mode of ``detect``/``repair`` all speak the same machine-readable schema
-(:class:`repro.service.jobs.JobResult`).
+The batch service verbs (``batch``, ``serve``, ``queue``) and the
+``--json`` output mode of ``detect``/``repair`` all speak the same
+machine-readable schema (:class:`repro.service.jobs.JobResult`).  With
+``--queue`` the work lands in a durable SQLite-WAL queue that any number
+of ``serve --queue`` nodes drain cooperatively (DESIGN.md §13).
 """
 
 from __future__ import annotations
@@ -364,21 +370,130 @@ def _batch_phase_table(results) -> Optional[str]:
     return "\n".join(lines)
 
 
-def _cmd_batch(options: argparse.Namespace) -> int:
-    from .service import Job, ResultCache, WorkerPool
+def _batch_jobs(options: argparse.Namespace) -> List["Job"]:
+    from .service import Job
 
     files = _collect_batch_files(options.paths)
     args = [_parse_arg(a) for a in options.arg]
-    jobs = [Job(options.kind, _read_source(path), source_name=path,
+    return [Job(options.kind, _read_source(path), source_name=path,
                 args=args, algorithm=options.algorithm,
                 strip_finishes=options.strip_finishes,
                 max_iterations=options.max_iterations,
                 replay=options.replay, incremental=options.incremental,
                 timeout_s=options.timeout)
             for path in files]
+
+
+def _batch_report(options: argparse.Namespace, results) -> int:
+    """The shared tail of both batch modes: JSON lines, status summary,
+    phase table, exit code."""
+    if options.json:
+        # JSON Lines, one result per input file in input order.
+        for result in results:
+            print(json.dumps(result.to_dict(), sort_keys=True))
+    by_status = {}
+    for result in results:
+        by_status[result.status] = by_status.get(result.status, 0) + 1
+    failed = sum(1 for r in results
+                 if r.status != "ok"
+                 or (r.kind == "repair"
+                     and not (r.result or {}).get("converged")))
+    summary = ", ".join(f"{status}: {count}"
+                        for status, count in sorted(by_status.items()))
+    print(f"batch: {len(results)} job(s) [{summary}] with "
+          f"{options.workers} worker(s)", file=sys.stderr)
+    table = _batch_phase_table(results)
+    if table is not None:
+        print("phase latency over executed jobs:", file=sys.stderr)
+        print(table, file=sys.stderr)
+    return 1 if failed else 0
+
+
+def _write_repaired(options: argparse.Namespace, source_name: str,
+                    result) -> None:
+    if (options.output_dir and result.status == "ok"
+            and options.kind == "repair"):
+        base = os.path.basename(source_name)
+        target = os.path.join(options.output_dir, base)
+        with open(target, "w", encoding="utf-8") as handle:
+            handle.write(result.result["repaired_source"])
+
+
+def _cmd_batch_queue(options: argparse.Namespace) -> int:
+    """``batch --queue``: checkpoint the corpus in the durable queue and
+    drain it with a local node.  Interrupt at any point — including
+    SIGKILL — and re-run with ``--resume``: completed jobs keep their
+    results, only the remainder executes."""
+    from .service import (
+        JobQueue,
+        JobResult,
+        QueueWorker,
+        ResultCache,
+        batch_dedupe_key,
+        derive_batch_id,
+    )
+
+    jobs = _batch_jobs(options)
+    if options.output_dir:
+        os.makedirs(options.output_dir, exist_ok=True)
+    queue = JobQueue(options.queue, lease_s=options.lease,
+                     max_attempts=options.max_attempts)
+    batch_id = options.batch_id or derive_batch_id(jobs)
+    already_done = {row["source_name"]
+                    for row in queue.batch_rows(batch_id)
+                    if row["state"] in ("done", "failed", "cancelled")}
+    if already_done and not options.resume:
+        raise _Diagnostic(
+            f"error: batch {batch_id} already has "
+            f"{len(already_done)} finished job(s) in {options.queue}; "
+            "re-run with --resume to continue it (or --batch-id for a "
+            "fresh batch)")
+    queue.submit_many(
+        ((job, batch_dedupe_key(batch_id, job)) for job in jobs),
+        batch_id=batch_id)
+    pending = queue.unfinished(batch_id)
+    print(f"batch {batch_id}: {len(jobs)} job(s), "
+          f"{len(jobs) - pending} already finished, {pending} to run",
+          file=sys.stderr)
     cache = None
     if not options.no_cache:
-        cache = ResultCache(options.cache_dir)
+        cache = ResultCache(options.cache_dir,
+                            max_mb=options.cache_max_mb)
+    worker = QueueWorker(queue, workers=options.workers, cache=cache,
+                         lease_s=options.lease)
+    try:
+        worker.run_until_drained(batch_id)
+    except KeyboardInterrupt:
+        worker.stop()
+        remaining = queue.unfinished(batch_id)
+        print(f"interrupted: {remaining} job(s) unfinished; re-run with "
+              "--resume to continue this batch", file=sys.stderr)
+        return 1
+    results = []
+    for row in queue.batch_rows(batch_id):
+        if row["result"] is None:  # pragma: no cover - defensive
+            continue
+        result = JobResult.from_dict(row["result"])
+        results.append(result)
+        if not options.json or options.verbose:
+            print(result.describe(), file=sys.stderr)
+        _write_repaired(options, row["source_name"], result)
+    return _batch_report(options, results)
+
+
+def _cmd_batch(options: argparse.Namespace) -> int:
+    from .service import ResultCache, WorkerPool
+
+    if options.resume and not options.queue:
+        raise _Diagnostic("error: --resume requires --queue (the batch "
+                          "checkpoint lives in the queue database)")
+    if options.queue:
+        return _cmd_batch_queue(options)
+    jobs = _batch_jobs(options)
+    cache = None
+    if not options.no_cache:
+        cache = ResultCache(options.cache_dir,
+                            max_mb=options.cache_max_mb)
     if options.output_dir:
         os.makedirs(options.output_dir, exist_ok=True)
 
@@ -411,46 +526,92 @@ def _cmd_batch(options: argparse.Namespace) -> int:
             collected[order[id(job)]] = (job_id, job, result)
             if not options.json or options.verbose:
                 print(result.describe(), file=sys.stderr)
-            if (options.output_dir and result.status == "ok"
-                    and options.kind == "repair"):
-                base = os.path.basename(job.source_name)
-                target = os.path.join(options.output_dir, base)
-                with open(target, "w", encoding="utf-8") as handle:
-                    handle.write(result.result["repaired_source"])
+            _write_repaired(options, job.source_name, result)
 
     results = [entry[2] for entry in collected if entry is not None]
-    if options.json:
-        # JSON Lines, one result per input file in input order.
-        for result in results:
-            print(json.dumps(result.to_dict(), sort_keys=True))
-    by_status = {}
-    for result in results:
-        by_status[result.status] = by_status.get(result.status, 0) + 1
-    failed = sum(1 for r in results
-                 if r.status != "ok"
-                 or (r.kind == "repair" and not r.result["converged"]))
-    summary = ", ".join(f"{status}: {count}"
-                        for status, count in sorted(by_status.items()))
-    cache_note = ""
     if cache is not None:
         stats = cache.stats
-        cache_note = (f"; cache hits {stats.hits}/{stats.lookups} "
-                      f"({stats.hit_rate:.0%})")
-    print(f"batch: {len(results)} job(s) [{summary}] with "
-          f"{options.workers} worker(s){cache_note}", file=sys.stderr)
-    table = _batch_phase_table(results)
-    if table is not None:
-        print("phase latency over executed jobs:", file=sys.stderr)
-        print(table, file=sys.stderr)
-    return 1 if failed or interrupted else 0
+        print(f"cache hits {stats.hits}/{stats.lookups} "
+              f"({stats.hit_rate:.0%})", file=sys.stderr)
+    code = _batch_report(options, results)
+    return 1 if interrupted else code
 
 
 def _cmd_serve(options: argparse.Namespace) -> int:
     from .service import serve
 
+    auth_token = options.auth_token \
+        or os.environ.get("REPRO_AUTH_TOKEN") or None
     serve(workers=options.workers, host=options.host, port=options.port,
-          cache_dir=options.cache_dir,
+          cache_dir=options.cache_dir, cache_max_mb=options.cache_max_mb,
+          queue_path=options.queue, node_id=options.node_id,
+          lease_s=options.lease, auth_token=auth_token,
+          rate_limit=options.rate_limit, rate_burst=options.rate_burst,
           announce=lambda line: print(line, file=sys.stderr))
+    return 0
+
+
+def _cmd_queue_submit(options: argparse.Namespace) -> int:
+    from .service import JobQueue, batch_dedupe_key, derive_batch_id
+
+    jobs = _batch_jobs(options)
+    queue = JobQueue(options.queue, max_attempts=options.max_attempts)
+    batch_id = options.batch_id or derive_batch_id(jobs)
+    ids = queue.submit_many(
+        ((job, batch_dedupe_key(batch_id, job)) for job in jobs),
+        batch_id=batch_id, tenant=options.tenant)
+    if options.json:
+        print(json.dumps({"batch_id": batch_id, "ids": ids},
+                         sort_keys=True))
+    else:
+        counts = queue.counts(batch_id)
+        print(f"submitted {len(ids)} job(s) to {options.queue} as batch "
+              f"{batch_id} ({counts['queued']} queued, "
+              f"{counts['done']} already done)", file=sys.stderr)
+    return 0
+
+
+def _cmd_queue_status(options: argparse.Namespace) -> int:
+    from .service import JobQueue
+
+    queue = JobQueue(options.queue)
+    if options.id is not None:
+        row = queue.status(options.id)
+        if row is None:
+            raise _Diagnostic(
+                f"error: no job {options.id} in {options.queue}")
+        result = queue.result(options.id)
+        payload = dict(row)
+        payload["result"] = result.to_dict() if result else None
+        if options.json:
+            print(json.dumps(payload, sort_keys=True))
+        else:
+            print(f"job {row['id']}: {row['state']} "
+                  f"(attempts {row['attempts']}/{row['max_attempts']})")
+            if result is not None:
+                print(result.describe())
+        return 0
+    counts = queue.counts(options.batch_id)
+    if options.json:
+        print(json.dumps(counts, sort_keys=True))
+    else:
+        scope = f"batch {options.batch_id}" if options.batch_id \
+            else options.queue
+        print(f"{scope}: " + ", ".join(
+            f"{state}: {counts[state]}"
+            for state in ("queued", "leased", "done", "failed",
+                          "cancelled")))
+    return 0 if counts["queued"] + counts["leased"] == 0 else 1
+
+
+def _cmd_queue_drain(options: argparse.Namespace) -> int:
+    from .service import JobQueue
+
+    queue = JobQueue(options.queue)
+    cancelled = queue.drain(options.batch_id)
+    print(f"drained {cancelled} queued job(s) from {options.queue}"
+          + (f" (batch {options.batch_id})" if options.batch_id else ""),
+          file=sys.stderr)
     return 0
 
 
@@ -573,33 +734,44 @@ def build_parser() -> argparse.ArgumentParser:
                          help="use tiny test inputs instead of paper sizes")
     p_bench.set_defaults(func=_cmd_bench)
 
+    def add_job_args(p) -> None:
+        """The per-job knobs shared by ``batch`` and ``queue submit``."""
+        p.add_argument("paths", nargs="+", metavar="dir|file",
+                       help="mini-HJ files, or directories of .hj files")
+        p.add_argument("--kind", choices=("detect", "repair", "measure"),
+                       default="repair",
+                       help="what to run per program (default: repair)")
+        p.add_argument("--arg", action="append", default=[],
+                       help="argument passed to every program's main() "
+                            "(repeatable)")
+        p.add_argument("--algorithm", choices=("mrw", "srw"),
+                       default="mrw")
+        p.add_argument("--strip-finishes", action="store_true")
+        p.add_argument("--max-iterations", type=int, default=20)
+        p.add_argument("--replay", dest="replay", action="store_true",
+                       default=None)
+        p.add_argument("--no-replay", dest="replay", action="store_false")
+        p.add_argument("--incremental", dest="incremental",
+                       action="store_true", default=None)
+        p.add_argument("--no-incremental", dest="incremental",
+                       action="store_false")
+        p.add_argument("--timeout", type=float, default=None,
+                       help="per-job wall-clock budget in seconds")
+
+    def add_cache_args(p) -> None:
+        p.add_argument("--cache-dir",
+                       help="persist the content-addressed result cache "
+                            "in this directory (shared across nodes)")
+        p.add_argument("--cache-max-mb", type=float, default=None,
+                       help="bound the on-disk cache; least-recently-"
+                            "used entries are evicted beyond this size")
+
     p_batch = sub.add_parser(
         "batch",
         help="run a job over many programs on a worker pool")
-    p_batch.add_argument("paths", nargs="+", metavar="dir|file",
-                         help="mini-HJ files, or directories of .hj files")
-    p_batch.add_argument("--kind", choices=("detect", "repair", "measure"),
-                         default="repair",
-                         help="what to run per program (default: repair)")
+    add_job_args(p_batch)
     p_batch.add_argument("--workers", type=int, default=1,
                          help="worker processes (default 1)")
-    p_batch.add_argument("--arg", action="append", default=[],
-                         help="argument passed to every program's main() "
-                              "(repeatable)")
-    p_batch.add_argument("--algorithm", choices=("mrw", "srw"),
-                         default="mrw")
-    p_batch.add_argument("--strip-finishes", action="store_true")
-    p_batch.add_argument("--max-iterations", type=int, default=20)
-    p_batch.add_argument("--replay", dest="replay", action="store_true",
-                         default=None)
-    p_batch.add_argument("--no-replay", dest="replay",
-                         action="store_false")
-    p_batch.add_argument("--incremental", dest="incremental",
-                         action="store_true", default=None)
-    p_batch.add_argument("--no-incremental", dest="incremental",
-                         action="store_false")
-    p_batch.add_argument("--timeout", type=float, default=None,
-                         help="per-job wall-clock budget in seconds")
     p_batch.add_argument("--json", action="store_true",
                          help="print a JSON array of JobResults (input "
                               "order) to stdout")
@@ -609,12 +781,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("--output-dir",
                          help="write each repaired source here "
                               "(repair batches only)")
-    p_batch.add_argument("--cache-dir",
-                         help="persist the content-addressed result "
-                              "cache in this directory")
+    add_cache_args(p_batch)
     p_batch.add_argument("--no-cache", action="store_true",
                          help="disable the result cache (and in-batch "
                               "deduplication) entirely")
+    p_batch.add_argument("--queue", metavar="PATH",
+                         help="checkpoint the batch in this durable queue "
+                              "database and drain it with a local node; "
+                              "an interrupted run continues with --resume")
+    p_batch.add_argument("--resume", action="store_true",
+                         help="continue an interrupted --queue batch: "
+                              "finished jobs keep their results, only "
+                              "the remainder executes")
+    p_batch.add_argument("--batch-id", default=None,
+                         help="explicit batch identity (default: derived "
+                              "from the corpus contents + job knobs)")
+    p_batch.add_argument("--lease", type=float, default=30.0,
+                         help="queue lease seconds before a dead node's "
+                              "jobs are re-offered (default 30)")
+    p_batch.add_argument("--max-attempts", type=int, default=3,
+                         help="per-job retry budget for expired leases "
+                              "(default 3)")
     p_batch.set_defaults(func=_cmd_batch)
 
     p_serve = sub.add_parser(
@@ -622,9 +809,62 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--workers", type=int, default=1)
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=8321)
-    p_serve.add_argument("--cache-dir",
-                         help="persist the result cache in this directory")
+    add_cache_args(p_serve)
+    p_serve.add_argument("--queue", metavar="PATH", default=None,
+                         help="pull jobs from this durable queue database "
+                              "(run several nodes against one file); "
+                              "POST /jobs submissions land in the queue")
+    p_serve.add_argument("--node-id", default=None,
+                         help="this node's lease-owner identity "
+                              "(default: node-<pid>)")
+    p_serve.add_argument("--lease", type=float, default=None,
+                         help="queue lease seconds (default 30)")
+    p_serve.add_argument("--auth-token", default=None,
+                         help="require 'Authorization: Bearer <token>' on "
+                              "mutating endpoints (or set "
+                              "REPRO_AUTH_TOKEN)")
+    p_serve.add_argument("--rate-limit", type=float, default=None,
+                         help="per-tenant submissions per second "
+                              "(token bucket; default: unlimited)")
+    p_serve.add_argument("--rate-burst", type=float, default=None,
+                         help="per-tenant burst size (default: 2x rate)")
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_queue = sub.add_parser(
+        "queue", help="inspect and feed the durable job queue")
+    queue_sub = p_queue.add_subparsers(dest="queue_command", required=True)
+
+    p_qsubmit = queue_sub.add_parser(
+        "submit", help="enqueue programs as a (resumable) batch")
+    add_job_args(p_qsubmit)
+    p_qsubmit.add_argument("--queue", required=True, metavar="PATH",
+                           help="queue database path")
+    p_qsubmit.add_argument("--batch-id", default=None,
+                           help="explicit batch identity (default: "
+                                "derived from corpus + knobs)")
+    p_qsubmit.add_argument("--tenant", default=None,
+                           help="tenant tag recorded on each job")
+    p_qsubmit.add_argument("--max-attempts", type=int, default=3)
+    p_qsubmit.add_argument("--json", action="store_true",
+                           help="print {batch_id, ids} JSON")
+    p_qsubmit.set_defaults(func=_cmd_queue_submit)
+
+    p_qstatus = queue_sub.add_parser(
+        "status", help="queue state counts, or one job's row")
+    p_qstatus.add_argument("--queue", required=True, metavar="PATH")
+    p_qstatus.add_argument("--id", type=int, default=None,
+                           help="show one queue job instead of counts")
+    p_qstatus.add_argument("--batch-id", default=None,
+                           help="restrict counts to one batch")
+    p_qstatus.add_argument("--json", action="store_true")
+    p_qstatus.set_defaults(func=_cmd_queue_status)
+
+    p_qdrain = queue_sub.add_parser(
+        "drain", help="cancel every queued job (leased jobs finish)")
+    p_qdrain.add_argument("--queue", required=True, metavar="PATH")
+    p_qdrain.add_argument("--batch-id", default=None,
+                          help="restrict the drain to one batch")
+    p_qdrain.set_defaults(func=_cmd_queue_drain)
     return parser
 
 

@@ -1,7 +1,8 @@
-"""Batch repair service: jobs, worker pool, result cache, HTTP server.
+"""Batch repair service: jobs, pool, cache, durable queue, HTTP server.
 
 This subpackage turns the single-shot pipeline (one program per process,
-via :mod:`repro.cli`) into a concurrent job runner:
+via :mod:`repro.cli`) into a concurrent — and, with the queue tier, a
+distributed and durable — job runner:
 
 * :mod:`~repro.service.jobs` — the typed :class:`Job`/:class:`JobResult`
   model with structured JSON serialization and faithful error capture;
@@ -10,7 +11,17 @@ via :mod:`repro.cli`) into a concurrent job runner:
   graceful cancellation;
 * :mod:`~repro.service.cache` — a content-addressed result cache keyed
   on the canonical (parse → pretty-print) source text;
-* :mod:`~repro.service.server` — the ``repro serve`` HTTP front-end.
+* :mod:`~repro.service.store` — the cache's durable layer: sharded
+  one-file-per-key stores with optional LRU size bounding, shared by
+  every node pointed at the same directory;
+* :mod:`~repro.service.queue` — a SQLite-WAL persistent job queue with
+  leases, heartbeats, retry budgets and fenced exactly-once completion;
+* :mod:`~repro.service.node` — a queue worker node (claim → pool →
+  complete), N of which drain one queue concurrently;
+* :mod:`~repro.service.auth` — bearer-token auth and per-tenant
+  token-bucket rate limiting for the HTTP front-end;
+* :mod:`~repro.service.server` — the ``repro serve`` HTTP front-end
+  (submit/poll/SSE progress/healthz/stats/metrics).
 
 Typical batch use::
 
@@ -20,12 +31,24 @@ Typical batch use::
     for job_id, job, result in run_batch(jobs, workers=4,
                                          cache=ResultCache()):
         print(result.describe())
+
+Typical multi-node use: ``repro queue submit`` + N × ``repro serve
+--queue`` against one queue file (see DESIGN.md §13).
 """
 
+from .auth import RateLimiter, TokenBucket, check_bearer, tenant_of
 from .cache import CacheStats, ResultCache, canonical_source
 from .jobs import JOB_KINDS, Job, JobResult, run_job
+from .node import QueueWorker
 from .pool import PoolStats, WorkerPool, run_batch
+from .queue import (
+    JobQueue,
+    QueueError,
+    batch_dedupe_key,
+    derive_batch_id,
+)
 from .server import ServiceServer, serve
+from .store import CacheStore, DirectoryStore, NullStore, open_store
 
 __all__ = [
     "JOB_KINDS",
@@ -35,9 +58,22 @@ __all__ = [
     "CacheStats",
     "ResultCache",
     "canonical_source",
+    "CacheStore",
+    "DirectoryStore",
+    "NullStore",
+    "open_store",
     "PoolStats",
     "WorkerPool",
     "run_batch",
+    "JobQueue",
+    "QueueError",
+    "batch_dedupe_key",
+    "derive_batch_id",
+    "QueueWorker",
+    "RateLimiter",
+    "TokenBucket",
+    "check_bearer",
+    "tenant_of",
     "ServiceServer",
     "serve",
 ]

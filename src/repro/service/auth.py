@@ -1,0 +1,135 @@
+"""Request gating for the HTTP front-end: bearer auth + token buckets.
+
+Two independent, deliberately small mechanisms:
+
+* :func:`check_bearer` — static bearer-token auth for the *mutating*
+  endpoints (``POST /jobs``).  The service is either open (no token
+  configured) or requires ``Authorization: Bearer <token>`` to match,
+  compared with :func:`hmac.compare_digest` so the check is
+  constant-time.  Read endpoints stay open: they expose aggregate
+  metrics and job results, and load balancers need ``/healthz``
+  unauthenticated.
+
+* :class:`RateLimiter` — a classic token bucket per tenant.  Each
+  tenant's bucket holds up to ``burst`` tokens and refills at ``rate``
+  tokens/second; a request spends one token or is rejected (HTTP 429).
+  The tenant is the bearer token when auth is on (so limits follow
+  identity), else the ``X-Tenant`` header, else the client address —
+  see :func:`tenant_of`.
+
+Both are pure in-memory state on one node.  Per-node limits are the
+honest scope here: a fleet fronted by a load balancer multiplies the
+effective rate by the node count, which is the usual first-order
+deployment answer; global limits would need shared state the queue tier
+deliberately keeps out of the request path.
+"""
+
+from __future__ import annotations
+
+import hmac
+import threading
+import time
+from typing import Dict, Optional
+
+
+def check_bearer(authorization: Optional[str],
+                 expected_token: Optional[str]) -> bool:
+    """Is this ``Authorization`` header acceptable?  Always true when no
+    token is configured (the service is open)."""
+    if expected_token is None:
+        return True
+    if not authorization:
+        return False
+    scheme, _, credential = authorization.partition(" ")
+    if scheme.lower() != "bearer" or not credential:
+        return False
+    return hmac.compare_digest(credential.strip(), expected_token)
+
+
+def tenant_of(headers, client_address: str,
+              auth_token: Optional[str] = None) -> str:
+    """The rate-limit identity of a request: the bearer credential if
+    one was presented, else the ``X-Tenant`` header, else the client
+    address."""
+    authorization = headers.get("Authorization") or ""
+    scheme, _, credential = authorization.partition(" ")
+    if scheme.lower() == "bearer" and credential.strip():
+        return f"token:{credential.strip()}"
+    tenant = (headers.get("X-Tenant") or "").strip()
+    if tenant:
+        return f"tenant:{tenant}"
+    return f"addr:{client_address}"
+
+
+class TokenBucket:
+    """One tenant's budget: ``burst`` capacity, ``rate`` tokens/sec."""
+
+    __slots__ = ("rate", "burst", "tokens", "updated_at")
+
+    def __init__(self, rate: float, burst: float,
+                 now: Optional[float] = None) -> None:
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self.updated_at = time.monotonic() if now is None else now
+
+    def take(self, now: Optional[float] = None) -> bool:
+        now_ = time.monotonic() if now is None else now
+        self.tokens = min(self.burst,
+                          self.tokens + (now_ - self.updated_at) * self.rate)
+        self.updated_at = now_
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+class RateLimiter:
+    """Per-tenant token buckets behind one lock.
+
+    ``rate=None`` disables limiting (every ``allow`` succeeds).  Buckets
+    are created on first sight of a tenant; a long-idle bucket is just a
+    few floats, and the tenant space is bounded by distinct tokens /
+    header values / client addresses seen, so no reaper is needed at
+    this scale.
+    """
+
+    def __init__(self, rate: Optional[float],
+                 burst: Optional[float] = None) -> None:
+        if rate is not None and rate <= 0:
+            raise ValueError("rate must be positive (or None to disable)")
+        self.rate = rate
+        self.burst = burst if burst is not None \
+            else (max(1.0, rate * 2) if rate is not None else 1.0)
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+        self.allowed = 0
+        self.rejected = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate is not None
+
+    def allow(self, tenant: str, now: Optional[float] = None) -> bool:
+        if self.rate is None:
+            return True
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = self._buckets[tenant] = TokenBucket(
+                    self.rate, self.burst, now=now)
+            ok = bucket.take(now=now)
+            if ok:
+                self.allowed += 1
+            else:
+                self.rejected += 1
+            return ok
+
+    def stats_dict(self) -> Dict[str, float]:
+        with self._lock:
+            return {"rate_per_s": self.rate, "burst": self.burst,
+                    "tenants": len(self._buckets),
+                    "allowed": self.allowed, "rejected": self.rejected}
+
+
+__all__ = ["check_bearer", "tenant_of", "TokenBucket", "RateLimiter"]

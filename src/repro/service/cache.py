@@ -19,22 +19,27 @@ Sources that do not even parse fall back to a key over the raw bytes:
 their (deterministic) lex/parse error results are still cacheable, but no
 normalization is possible.
 
-Entries live in memory and, when a directory is given, as one JSON file
-per key (written atomically) so caches survive across processes — worker
-pools and repeated CLI invocations share the same store.  Only
-deterministic results are stored (``JobResult.is_deterministic``):
-timeouts, crashes and cancellations always re-execute.
+Entries live in two layers: an in-process memory dict (the L1 — always
+on, immutable entries, lives as long as the process) and, when a
+directory is given, a durable :class:`~repro.service.store.CacheStore`
+(the L2 — sharded one-file-per-key JSON written atomically), so caches
+survive across processes *and are shared across nodes*: the keys are
+content addresses, so every ``repro serve --queue`` node pointed at the
+same store directory serves every other node's hits verbatim.  The L2
+can be size-bounded (``max_mb``) with least-recently-used eviction; see
+:mod:`repro.service.store`.  Only deterministic results are stored
+(``JobResult.is_deterministic``): timeouts, crashes and cancellations
+always re-execute.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-import os
-import tempfile
 from typing import Any, Dict, Optional
 
 from .jobs import Job, JobResult
+from .store import CacheStore, NullStore, open_store
 
 
 def canonical_source(source: str, source_name: str = "<cache>") -> str:
@@ -78,8 +83,10 @@ class ResultCache:
     """Content-addressed store of :class:`JobResult` dictionaries.
 
     ``path=None`` keeps everything in memory; otherwise ``path`` is a
-    directory holding one ``<key>.json`` file per entry plus nothing
-    else, so it can be inspected, pruned or deleted freely.
+    directory managed by a :class:`~repro.service.store.DirectoryStore`
+    (sharded one-file-per-key JSON) that any number of processes and
+    nodes share.  ``max_mb`` bounds the directory with LRU eviction.
+    A pre-built ``store`` overrides both.
     """
 
     #: bumped whenever the key derivation or the result payload schema
@@ -87,10 +94,12 @@ class ResultCache:
     #: simply never hit rather than misread.
     KEY_SCHEMA = 1
 
-    def __init__(self, path: Optional[str] = None) -> None:
+    def __init__(self, path: Optional[str] = None,
+                 max_mb: Optional[float] = None,
+                 store: Optional[CacheStore] = None) -> None:
         self.path = path
-        if path is not None:
-            os.makedirs(path, exist_ok=True)
+        self.store = store if store is not None \
+            else open_store(path, max_mb=max_mb)
         self._memory: Dict[str, Dict[str, Any]] = {}
         self.stats = CacheStats()
 
@@ -118,8 +127,10 @@ class ResultCache:
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         """The stored result dict for ``key``, or ``None`` on a miss."""
         entry = self._memory.get(key)
-        if entry is None and self.path is not None:
-            entry = self._read_disk(key)
+        if entry is None:
+            entry = self.store.read(key)
+            if entry is not None and entry.get("schema") != JobResult.SCHEMA:
+                entry = None
             if entry is not None:
                 self._memory[key] = entry
         if entry is None:
@@ -143,8 +154,7 @@ class ResultCache:
         entry["coalesced"] = False
         entry["worker_pid"] = None
         self._memory[key] = entry
-        if self.path is not None:
-            self._write_disk(key, entry)
+        self.store.write(key, entry)
         self.stats.stores += 1
         return True
 
@@ -162,36 +172,14 @@ class ResultCache:
         return hit
 
     def __len__(self) -> int:
-        if self.path is None:
+        if isinstance(self.store, NullStore):
             return len(self._memory)
-        return sum(1 for name in os.listdir(self.path)
-                   if name.endswith(".json"))
+        return self.store.count()
 
-    # -- disk ----------------------------------------------------------
-
-    def _file_for(self, key: str) -> str:
-        return os.path.join(self.path, f"{key}.json")
-
-    def _read_disk(self, key: str) -> Optional[Dict[str, Any]]:
-        try:
-            with open(self._file_for(key), "r", encoding="utf-8") as handle:
-                entry = json.load(handle)
-        except (OSError, ValueError):
-            return None
-        if entry.get("schema") != JobResult.SCHEMA:
-            return None
-        return entry
-
-    def _write_disk(self, key: str, entry: Dict[str, Any]) -> None:
-        # Atomic publish: concurrent writers of the same key (identical
-        # deterministic results) race harmlessly to the same content.
-        fd, temp = tempfile.mkstemp(dir=self.path, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(entry, handle)
-            os.replace(temp, self._file_for(key))
-        except OSError:  # pragma: no cover - disk-full etc.; cache is best-effort
-            try:
-                os.unlink(temp)
-            except OSError:
-                pass
+    def stats_dict(self) -> Dict[str, Any]:
+        """Counters plus store-level facts (entry count, evictions) —
+        the ``/stats`` and ``/metrics`` cache block."""
+        data = self.stats.to_dict()
+        data["entries"] = len(self)
+        data["evictions"] = self.store.evictions
+        return data

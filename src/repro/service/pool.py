@@ -409,8 +409,7 @@ class WorkerPool:
             snapshot: Dict[str, Any] = {"pool": pool_stats,
                                         "workers": self.workers}
             if self.cache is not None:
-                snapshot["cache"] = self.cache.stats.to_dict()
-                snapshot["cache"]["entries"] = len(self.cache)
+                snapshot["cache"] = self.cache.stats_dict()
         return snapshot
 
     def metrics_snapshot(self) -> Dict[str, Any]:
@@ -435,8 +434,7 @@ class WorkerPool:
                 },
             }
             if self.cache is not None:
-                metrics["cache"] = self.cache.stats.to_dict()
-                metrics["cache"]["entries"] = len(self.cache)
+                metrics["cache"] = self.cache.stats_dict()
         return metrics
 
     # -- internals -----------------------------------------------------

@@ -1,38 +1,46 @@
-"""``repro serve`` — a stdlib HTTP front-end over the worker pool.
+"""``repro serve`` — the HTTP front-end over the pool and the queue.
 
-Three endpoints, JSON in and out:
+Endpoints, JSON in and out (SSE for the event stream):
 
 ``POST /jobs``
     Submit a batch.  Body: ``{"jobs": [<job dict>, ...]}`` (or a single
     job dict); each job dict is :meth:`repro.service.jobs.Job.to_dict`
     shaped — ``kind`` and ``source`` required, everything else optional.
-    Response: ``{"ids": [...], "submitted": N}``, HTTP 202.
+    Response: ``{"ids": [...], "submitted": N}``, HTTP 202.  Without
+    ``--queue`` the jobs go straight to this node's worker pool; with it
+    they land in the shared durable queue, where *any* node may execute
+    them.  Mutating endpoints honour ``--auth-token`` (401 without the
+    matching ``Authorization: Bearer``) and the per-tenant token-bucket
+    rate limit (429 when a tenant's bucket is empty).
 
 ``GET /jobs/<id>``
     Poll one job: ``{"id", "status": queued|running|done|unknown,
-    "result": <JobResult dict> | null}``.
+    "result": <JobResult dict> | null}``.  Queue-backed jobs also carry
+    ``queue_state`` (queued/leased/done/failed/cancelled) and
+    ``attempts``.
 
-``GET /stats``
-    Pool throughput (jobs/sec, per-kind latency counters, status
-    counts), worker health (alive/busy/restarts) and cache
-    effectiveness (hit rate, stores).
+``GET /jobs/<id>/events``
+    Server-sent events (``text/event-stream``): a ``status`` event per
+    state transition, then — on completion — one ``phase`` event per
+    pipeline phase the job's telemetry spans recorded (name + total
+    milliseconds), a final ``result`` event with the full JobResult, and
+    stream end.  ``curl -N`` renders live progress.
 
-``GET /metrics``
-    Telemetry aggregation: per-pipeline-phase latency histograms
-    (count, mean, p50, p95, max — from each executed job's telemetry
-    timings), summed runtime counters, cache hit/miss/store counts and
-    worker restart/timeout/crash counters.
+``GET /healthz``
+    Readiness for load balancers: 200 with ``{"status": "ok"}`` when
+    the queue (if attached) answers and at least one worker process is
+    alive; 503 with the failing component otherwise.
 
-Both read endpoints take their snapshots under the pool lock — the
-completion path mutates the stats dicts with the lock held, so a
-lock-free read could observe a dict mid-resize.  Every response,
-including handler- and ``http.server``-generated errors, is JSON with
-an explicit ``Content-Length`` (keep-alive clients depend on it).
+``GET /stats``, ``GET /metrics``
+    Pool throughput / telemetry aggregation, as before, extended with
+    queue state counts, node lease counters and rate-limiter counters.
+    Snapshots are taken under the pool lock — the completion path
+    mutates the stats dicts with the lock held.
 
-The server is intentionally small — ``http.server`` from the standard
-library, threaded so slow pollers never block submissions; anything
-production-shaped beyond that (auth, TLS, persistence of job state)
-stays out of scope for the reproduction.
+Every non-stream response, including handler- and ``http.server``-
+generated errors, is JSON with an explicit ``Content-Length``
+(keep-alive clients depend on it); the SSE stream is the one
+``Connection: close`` path.
 """
 
 from __future__ import annotations
@@ -40,22 +48,35 @@ from __future__ import annotations
 import json
 import signal
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, Union
 
+from .auth import RateLimiter, check_bearer, tenant_of
 from .cache import ResultCache
-from .jobs import Job
+from .jobs import Job, JobResult
+from .node import QueueWorker
 from .pool import WorkerPool
+from .queue import JobQueue
 
 #: refuse request bodies beyond this many bytes (a submission of the
 #: whole student corpus is ~100 KiB; 16 MiB is generous headroom).
 MAX_BODY_BYTES = 16 * 1024 * 1024
 
+#: SSE polling cadence and hard stream bound (a watchdog against
+#: orphaned streams; clients re-connect).
+EVENTS_POLL_S = 0.05
+EVENTS_MAX_S = 3600.0
+
+#: queue state → the public job-status vocabulary.
+_QUEUE_STATUS = {"queued": "queued", "leased": "running", "done": "done",
+                 "failed": "done", "cancelled": "done"}
+
 
 class ServiceHandler(BaseHTTPRequestHandler):
     """Request handler bound to the server's pool via ``self.server``."""
 
-    server_version = "repro-serve/1.0"
+    server_version = "repro-serve/2.0"
     protocol_version = "HTTP/1.1"
 
     # -- plumbing ------------------------------------------------------
@@ -63,6 +84,14 @@ class ServiceHandler(BaseHTTPRequestHandler):
     @property
     def pool(self) -> WorkerPool:
         return self.server.pool  # type: ignore[attr-defined]
+
+    @property
+    def queue(self) -> Optional[JobQueue]:
+        return self.server.queue  # type: ignore[attr-defined]
+
+    @property
+    def service(self) -> "ServiceServer":
+        return self.server.service  # type: ignore[attr-defined]
 
     def log_message(self, format: str, *args: Any) -> None:
         if getattr(self.server, "verbose", False):  # pragma: no cover
@@ -99,11 +128,30 @@ class ServiceHandler(BaseHTTPRequestHandler):
             return None
         return self.rfile.read(length)
 
+    def _gate_mutation(self) -> Optional[str]:
+        """Auth + rate-limit check for mutating endpoints.  Returns the
+        tenant identity when the request may proceed, ``None`` after an
+        error response has been sent."""
+        service = self.service
+        if not check_bearer(self.headers.get("Authorization"),
+                            service.auth_token):
+            self._error(401, "missing or invalid bearer token")
+            return None
+        tenant = tenant_of(self.headers, self.client_address[0],
+                           service.auth_token)
+        if not service.rate_limiter.allow(tenant):
+            self._error(429, "rate limit exceeded for this tenant")
+            return None
+        return tenant
+
     # -- routes --------------------------------------------------------
 
     def do_POST(self) -> None:  # noqa: N802 - http.server naming
         if self.path.rstrip("/") != "/jobs":
             self._error(404, f"no such endpoint: POST {self.path}")
+            return
+        tenant = self._gate_mutation()
+        if tenant is None:
             return
         body = self._read_body()
         if body is None:
@@ -129,63 +177,224 @@ class ServiceHandler(BaseHTTPRequestHandler):
             except (TypeError, ValueError) as error:
                 self._error(400, f"job #{index}: {error}")
                 return
-        ids = [self.pool.submit(job) for job in jobs]
+        if self.queue is not None:
+            ids: List[Any] = [self.queue.submit(job, tenant=tenant)
+                              for job in jobs]
+        else:
+            ids = [self.pool.submit(job) for job in jobs]
         self._send_json(202, {"ids": ids, "submitted": len(ids)})
 
     def do_GET(self) -> None:  # noqa: N802 - http.server naming
         path = self.path.rstrip("/") or "/"
+        if path == "/healthz":
+            self._serve_healthz()
+            return
         if path == "/stats":
-            self._send_json(200, self.pool.stats_snapshot())
+            self._send_json(200, self.service.stats_snapshot())
             return
         if path == "/metrics":
-            self._send_json(200, self.pool.metrics_snapshot())
+            self._send_json(200, self.service.metrics_snapshot())
             return
         if path.startswith("/jobs/"):
-            job_id = path[len("/jobs/"):]
-            status = self.pool.status(job_id)
-            if status == "unknown":
-                self._error(404, f"unknown job id {job_id!r}")
+            rest = path[len("/jobs/"):]
+            if rest.endswith("/events"):
+                self._serve_events(rest[:-len("/events")])
                 return
-            result = self.pool.result(job_id)
-            self._send_json(200, {
-                "id": job_id,
-                "status": status,
-                "result": result.to_dict() if result is not None else None,
-            })
+            self._serve_job(rest)
             return
         self._error(404, f"no such endpoint: GET {self.path}")
 
+    def _serve_healthz(self) -> None:
+        healthy, payload = self.service.health_snapshot()
+        self._send_json(200 if healthy else 503, payload)
+
+    # -- job lookup (pool- or queue-backed) ----------------------------
+
+    def _lookup(self, job_id: str
+                ) -> Tuple[str, Optional[JobResult], Dict[str, Any]]:
+        """``(status, result, extras)`` for one job in either backend."""
+        if self.queue is not None:
+            try:
+                queue_id = int(job_id)
+            except ValueError:
+                return "unknown", None, {}
+            row = self.queue.status(queue_id)
+            if row is None:
+                return "unknown", None, {}
+            status = _QUEUE_STATUS[row["state"]]
+            result = self.queue.result(queue_id) \
+                if status == "done" else None
+            return status, result, {"queue_state": row["state"],
+                                    "attempts": row["attempts"]}
+        status = self.pool.status(job_id)
+        return status, self.pool.result(job_id), {}
+
+    def _serve_job(self, job_id: str) -> None:
+        status, result, extras = self._lookup(job_id)
+        if status == "unknown":
+            self._error(404, f"unknown job id {job_id!r}")
+            return
+        payload = {"id": job_id, "status": status,
+                   "result": result.to_dict() if result is not None
+                   else None}
+        payload.update(extras)
+        self._send_json(200, payload)
+
+    # -- SSE -----------------------------------------------------------
+
+    def _emit_event(self, name: str, payload: Dict[str, Any]) -> bool:
+        try:
+            self.wfile.write(
+                f"event: {name}\ndata: "
+                f"{json.dumps(payload, sort_keys=True)}\n\n".encode("utf-8"))
+            self.wfile.flush()
+            return True
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            return False  # client went away; stop streaming
+
+    def _serve_events(self, job_id: str) -> None:
+        """Stream one job's progress as server-sent events."""
+        status, _result, _extras = self._lookup(job_id)
+        if status == "unknown":
+            self._error(404, f"unknown job id {job_id!r}")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        self.close_connection = True
+        last_status: Optional[str] = None
+        deadline = time.monotonic() + EVENTS_MAX_S
+        while time.monotonic() < deadline:
+            status, result, extras = self._lookup(job_id)
+            if status != last_status:
+                last_status = status
+                event: Dict[str, Any] = {"id": job_id, "status": status}
+                event.update(extras)
+                if not self._emit_event("status", event):
+                    return
+            if status == "done" and result is not None:
+                # The per-phase totals the job's telemetry session
+                # recorded (the same spans /metrics aggregates).
+                for phase, seconds in sorted(
+                        (result.timings or {}).items()):
+                    if not self._emit_event("phase", {
+                            "id": job_id, "phase": phase,
+                            "ms": round(seconds * 1000.0, 3)}):
+                        return
+                self._emit_event("result",
+                                 {"id": job_id, "result": result.to_dict()})
+                return
+            if status == "done":  # cancelled/failed rows may lack results
+                self._emit_event("result", {"id": job_id, "result": None})
+                return
+            time.sleep(EVENTS_POLL_S)
+        self._emit_event("timeout", {"id": job_id})  # pragma: no cover
+
 
 class ServiceServer:
-    """The pool + HTTP listener pair behind ``repro serve``."""
+    """The pool/node + HTTP listener behind ``repro serve``.
+
+    Without ``queue``: one self-contained node, jobs go to the local
+    pool.  With ``queue`` (a path or :class:`JobQueue`): submissions
+    land in the durable queue and a :class:`QueueWorker` attached to
+    this server pulls from it — alongside every other node pointed at
+    the same queue file.
+    """
 
     def __init__(self, workers: int = 1, host: str = "127.0.0.1",
-                 port: int = 8321, cache: Optional[ResultCache] = None
-                 ) -> None:
-        # No completion stream: HTTP clients poll GET /jobs/<id>, so an
-        # unconsumed stream queue would only grow without bound.
-        self.pool = WorkerPool(workers=workers, cache=cache,
-                               keep_stream=False)
+                 port: int = 8321, cache: Optional[ResultCache] = None,
+                 queue: Optional[Union[JobQueue, str]] = None,
+                 node_id: Optional[str] = None,
+                 lease_s: Optional[float] = None,
+                 auth_token: Optional[str] = None,
+                 rate_limit: Optional[float] = None,
+                 rate_burst: Optional[float] = None) -> None:
+        self.auth_token = auth_token
+        self.rate_limiter = RateLimiter(rate_limit, rate_burst)
+        self.node: Optional[QueueWorker] = None
+        self.queue: Optional[JobQueue] = None
+        if queue is not None:
+            self.node = QueueWorker(queue, workers=workers, cache=cache,
+                                    node_id=node_id, lease_s=lease_s)
+            self.queue = self.node.queue
+            self.pool = self.node.pool
+        else:
+            # No completion stream: HTTP clients poll GET /jobs/<id>, so
+            # an unconsumed stream queue would only grow without bound.
+            self.pool = WorkerPool(workers=workers, cache=cache,
+                                   keep_stream=False)
         self.httpd = ThreadingHTTPServer((host, port), ServiceHandler)
         self.httpd.daemon_threads = True
         self.httpd.pool = self.pool  # type: ignore[attr-defined]
+        self.httpd.queue = self.queue  # type: ignore[attr-defined]
+        self.httpd.service = self  # type: ignore[attr-defined]
 
     @property
     def address(self) -> Tuple[str, int]:
         host, port = self.httpd.server_address[:2]
         return str(host), int(port)
 
+    # -- snapshots -----------------------------------------------------
+
+    def stats_snapshot(self) -> Dict[str, Any]:
+        snapshot = self.pool.stats_snapshot()
+        snapshot["rate_limiter"] = self.rate_limiter.stats_dict()
+        snapshot["auth"] = {"required": self.auth_token is not None}
+        if self.node is not None:
+            snapshot["node"] = self.node.stats_snapshot()
+        return snapshot
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        metrics = self.pool.metrics_snapshot()
+        metrics["rate_limiter"] = self.rate_limiter.stats_dict()
+        if self.node is not None:
+            node = self.node.stats_snapshot()
+            metrics["queue"] = node.pop("queue")
+            metrics["node"] = node
+        return metrics
+
+    def health_snapshot(self) -> Tuple[bool, Dict[str, Any]]:
+        """(healthy?, payload) for ``GET /healthz``."""
+        pool_stats = self.pool.stats_snapshot()["pool"]["workers"]
+        workers_ok = pool_stats["alive"] > 0
+        queue_ok = True
+        payload: Dict[str, Any] = {
+            "workers": {"configured": pool_stats["configured"],
+                        "alive": pool_stats["alive"]},
+            "queue": {"attached": self.queue is not None},
+        }
+        if self.queue is not None:
+            queue_ok = self.queue.ping()
+            payload["queue"]["reachable"] = queue_ok
+            payload["queue"]["path"] = self.queue.path
+        healthy = workers_ok and queue_ok
+        payload["status"] = "ok" if healthy else "unavailable"
+        if not healthy:
+            payload["failing"] = ([] if workers_ok else ["workers"]) + \
+                ([] if queue_ok else ["queue"])
+        return healthy, payload
+
+    # -- lifecycle -----------------------------------------------------
+
     def start(self) -> "ServiceServer":
-        """Start the pool and serve in a background thread (tests and
-        embedding; the CLI uses :meth:`serve_forever`)."""
-        self.pool.start()
+        """Start the pool/node and serve in a background thread (tests
+        and embedding; the CLI uses :meth:`serve_forever`)."""
+        if self.node is not None:
+            self.node.start()
+        else:
+            self.pool.start()
         thread = threading.Thread(target=self.httpd.serve_forever,
                                   name="repro-serve-http", daemon=True)
         thread.start()
         return self
 
     def serve_forever(self) -> None:
-        self.pool.start()
+        if self.node is not None:
+            self.node.start()
+        else:
+            self.pool.start()
         try:
             self.httpd.serve_forever()
         except KeyboardInterrupt:
@@ -196,24 +405,45 @@ class ServiceServer:
     def close(self) -> None:
         self.httpd.shutdown()
         self.httpd.server_close()
-        self.pool.shutdown()
+        if self.node is not None:
+            self.node.stop()
+        else:
+            self.pool.shutdown()
 
 
 def serve(workers: int = 1, host: str = "127.0.0.1", port: int = 8321,
           cache_dir: Optional[str] = None,
+          cache_max_mb: Optional[float] = None,
+          queue_path: Optional[str] = None,
+          node_id: Optional[str] = None,
+          lease_s: Optional[float] = None,
+          auth_token: Optional[str] = None,
+          rate_limit: Optional[float] = None,
+          rate_burst: Optional[float] = None,
           announce=None) -> None:
     """Run the batch service until interrupted (the ``repro serve``
     entry point).  The first SIGINT shuts down gracefully: the listener
-    stops, queued jobs are cancelled and in-flight jobs drain."""
-    cache = ResultCache(cache_dir) if cache_dir is not None \
-        else ResultCache()
+    stops, queued jobs are cancelled (pool mode) or released back to the
+    queue (queue mode) and in-flight jobs drain."""
+    cache = ResultCache(cache_dir, max_mb=cache_max_mb) \
+        if cache_dir is not None else ResultCache()
     server = ServiceServer(workers=workers, host=host, port=port,
-                           cache=cache)
+                           cache=cache, queue=queue_path, node_id=node_id,
+                           lease_s=lease_s, auth_token=auth_token,
+                           rate_limit=rate_limit, rate_burst=rate_burst)
     if announce is not None:
         host_, port_ = server.address
+        extras = [f"{workers} worker(s)"]
+        if queue_path:
+            extras.append(f"queue at {queue_path}")
+        if cache_dir:
+            extras.append(f"cache at {cache_dir}")
+        if auth_token:
+            extras.append("bearer auth on")
+        if rate_limit:
+            extras.append(f"rate limit {rate_limit:g}/s per tenant")
         announce(f"repro serve: listening on http://{host_}:{port_} "
-                 f"with {workers} worker(s)"
-                 + (f", cache at {cache_dir}" if cache_dir else ""))
+                 f"with {', '.join(extras)}")
     # serve_forever handles KeyboardInterrupt; translate SIGTERM into the
     # same graceful path when we're on the main thread.
     if threading.current_thread() is threading.main_thread():

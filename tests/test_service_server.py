@@ -1,5 +1,7 @@
-"""The ``repro serve`` HTTP front-end: submit, poll, stats, errors."""
+"""The ``repro serve`` HTTP front-end: submit, poll, stats, errors,
+queue mode, auth, rate limits, SSE progress and readiness."""
 
+import http.client
 import json
 import time
 import urllib.error
@@ -7,7 +9,7 @@ import urllib.request
 
 import pytest
 
-from repro.service import Job, ResultCache, ServiceServer
+from repro.service import Job, JobQueue, ResultCache, ServiceServer
 
 RACY = """
 var x = 0;
@@ -36,11 +38,12 @@ def _get(server, path):
         return reply.status, json.loads(reply.read())
 
 
-def _post(server, path, payload):
+def _post(server, path, payload, headers=None):
     body = json.dumps(payload).encode("utf-8")
+    all_headers = {"Content-Type": "application/json"}
+    all_headers.update(headers or {})
     request = urllib.request.Request(
-        _url(server, path), data=body,
-        headers={"Content-Type": "application/json"})
+        _url(server, path), data=body, headers=all_headers)
     with urllib.request.urlopen(request, timeout=10) as reply:
         return reply.status, json.loads(reply.read())
 
@@ -222,3 +225,232 @@ class TestContentLength:
         assert status == 501
         assert length is not None and int(length) == len(payload)
         assert "error" in json.loads(payload)
+
+
+class TestHealthz:
+    def test_ready_pool_mode(self, server):
+        status, reply = _get(server, "/healthz")
+        assert status == 200
+        assert reply["status"] == "ok"
+        assert reply["workers"]["alive"] >= 1
+        assert not reply["queue"]["attached"]
+
+    def test_unreachable_queue_is_503(self, tmp_path):
+        srv = ServiceServer(workers=1, port=0, cache=ResultCache(),
+                            queue=str(tmp_path / "q.db"), node_id="hz")
+        srv.start()
+        try:
+            status, reply = _get(srv, "/healthz")
+            assert status == 200 and reply["queue"]["reachable"]
+            # Point the queue somewhere unopenable: fresh handler threads
+            # fail to connect, so readiness must flip to 503.
+            srv.queue.path = str(tmp_path)  # a directory, not a database
+            with pytest.raises(urllib.error.HTTPError) as info:
+                _get(srv, "/healthz")
+            assert info.value.code == 503
+            payload = json.loads(info.value.read())
+            assert payload["status"] == "unavailable"
+            assert "queue" in payload["failing"]
+        finally:
+            srv.queue.path = str(tmp_path / "q.db")
+            srv.close()
+
+
+@pytest.fixture(scope="module")
+def auth_server():
+    srv = ServiceServer(workers=1, port=0, cache=ResultCache(),
+                        auth_token="sesame")
+    srv.start()
+    yield srv
+    srv.close()
+
+
+class TestAuth:
+    BODY = {"kind": "detect", "source": RACY}
+
+    def _denied(self, srv, headers):
+        with pytest.raises(urllib.error.HTTPError) as info:
+            _post(srv, "/jobs", self.BODY, headers=headers)
+        return info.value.code, json.loads(info.value.read())
+
+    def test_missing_token_is_401(self, auth_server):
+        code, reply = self._denied(auth_server, None)
+        assert code == 401
+        assert "bearer" in reply["error"].lower()
+
+    def test_wrong_token_is_401(self, auth_server):
+        code, _ = self._denied(
+            auth_server, {"Authorization": "Bearer wrong"})
+        assert code == 401
+
+    def test_wrong_scheme_is_401(self, auth_server):
+        code, _ = self._denied(
+            auth_server, {"Authorization": "Basic sesame"})
+        assert code == 401
+
+    def test_valid_token_is_accepted(self, auth_server):
+        status, reply = _post(auth_server, "/jobs", self.BODY,
+                              headers={"Authorization": "Bearer sesame"})
+        assert status == 202
+        _poll_done(auth_server, reply["ids"][0])
+
+    def test_read_endpoints_stay_open(self, auth_server):
+        for path in ("/stats", "/metrics", "/healthz"):
+            status, _ = _get(auth_server, path)
+            assert status == 200, path
+
+    def test_stats_reports_auth_required(self, auth_server):
+        _, stats = _get(auth_server, "/stats")
+        assert stats["auth"]["required"]
+
+
+class TestRateLimit:
+    def test_tenant_bucket_empties_to_429(self):
+        srv = ServiceServer(workers=1, port=0, cache=ResultCache(),
+                            rate_limit=0.001, rate_burst=2)
+        srv.start()
+        try:
+            body = {"kind": "detect", "source": RACY}
+            headers = {"X-Tenant": "alice"}
+            for _ in range(2):
+                status, _ = _post(srv, "/jobs", body, headers=headers)
+                assert status == 202
+            with pytest.raises(urllib.error.HTTPError) as info:
+                _post(srv, "/jobs", body, headers=headers)
+            assert info.value.code == 429
+            # Another tenant has its own bucket.
+            status, _ = _post(srv, "/jobs", body,
+                              headers={"X-Tenant": "bob"})
+            assert status == 202
+            _, stats = _get(srv, "/stats")
+            assert stats["rate_limiter"]["rejected"] >= 1
+            assert stats["rate_limiter"]["tenants"] >= 2
+        finally:
+            srv.close()
+
+
+@pytest.fixture(scope="module")
+def queue_server(tmp_path_factory):
+    root = tmp_path_factory.mktemp("queue-server")
+    srv = ServiceServer(workers=1, port=0,
+                        cache=ResultCache(str(root / "cache")),
+                        queue=str(root / "q.db"), node_id="srv-node",
+                        lease_s=30.0)
+    srv.start()
+    yield srv
+    srv.close()
+
+
+class TestQueueMode:
+    def test_submission_lands_in_queue_and_completes(self, queue_server):
+        status, reply = _post(queue_server, "/jobs", {
+            "kind": "repair", "source": RACY, "source_name": "q.hj"})
+        assert status == 202
+        job_id = reply["ids"][0]
+        assert isinstance(job_id, int)
+        done = _poll_done(queue_server, job_id)
+        assert done["queue_state"] == "done"
+        assert done["attempts"] == 1
+        assert done["result"]["status"] == "ok"
+        assert done["result"]["result"]["converged"]
+
+    def test_poll_carries_queue_extras(self, queue_server):
+        _, reply = _post(queue_server, "/jobs",
+                         {"kind": "detect", "source": RACY})
+        reply = _poll_done(queue_server, reply["ids"][0])
+        assert reply["queue_state"] in ("done",)
+        assert reply["attempts"] >= 1
+
+    def test_tenant_recorded_on_queue_rows(self, queue_server):
+        _, reply = _post(queue_server, "/jobs",
+                         {"kind": "detect", "source": RACY},
+                         headers={"X-Tenant": "class-2026"})
+        job_id = reply["ids"][0]
+        _poll_done(queue_server, job_id)
+        row = queue_server.queue.status(job_id)
+        assert row["tenant"] == "tenant:class-2026"
+
+    def test_metrics_carry_queue_and_node_blocks(self, queue_server):
+        _, reply = _post(queue_server, "/jobs",
+                         {"kind": "detect", "source": RACY})
+        _poll_done(queue_server, reply["ids"][0])
+        _, metrics = _get(queue_server, "/metrics")
+        assert metrics["queue"]["done"] >= 1
+        assert metrics["node"]["node_id"] == "srv-node"
+        assert metrics["node"]["completed"] >= 1
+        assert "evictions" in metrics["cache"]
+
+    def test_unknown_queue_id_is_404(self, queue_server):
+        for bogus in ("999999", "not-a-number"):
+            with pytest.raises(urllib.error.HTTPError) as info:
+                _get(queue_server, f"/jobs/{bogus}")
+            assert info.value.code == 404
+
+
+def _read_sse(server, path, timeout=60.0):
+    """Collect a whole SSE stream as ``[(event, data_dict), ...]``."""
+    host, port = server.address
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        conn.request("GET", path)
+        reply = conn.getresponse()
+        assert reply.status == 200
+        assert reply.getheader("Content-Type") == "text/event-stream"
+        raw = reply.read().decode("utf-8")  # stream ends when job does
+    finally:
+        conn.close()
+    events = []
+    for block in raw.split("\n\n"):
+        name, data = None, None
+        for line in block.splitlines():
+            if line.startswith("event: "):
+                name = line[len("event: "):]
+            elif line.startswith("data: "):
+                data = json.loads(line[len("data: "):])
+        if name is not None:
+            events.append((name, data))
+    return events
+
+
+class TestEventStream:
+    def test_full_lifecycle_events(self, queue_server):
+        _, reply = _post(queue_server, "/jobs", {
+            "kind": "repair", "source": RACY, "source_name": "sse.hj"})
+        job_id = reply["ids"][0]
+        events = _read_sse(queue_server, f"/jobs/{job_id}/events")
+        names = [name for name, _ in events]
+        assert names[0] == "status"
+        assert names[-1] == "result"
+        statuses = [data["status"] for name, data in events
+                    if name == "status"]
+        assert statuses[-1] == "done"
+        phases = {data["phase"]: data["ms"] for name, data in events
+                  if name == "phase"}
+        assert "repair" in phases and "execute" in phases
+        assert all(ms >= 0 for ms in phases.values())
+        final = events[-1][1]["result"]
+        assert final["status"] == "ok"
+        assert final["source_name"] == "sse.hj"
+
+    def test_stream_after_completion_replays_result(self, queue_server):
+        _, reply = _post(queue_server, "/jobs",
+                         {"kind": "detect", "source": RACY})
+        job_id = reply["ids"][0]
+        _poll_done(queue_server, job_id)
+        events = _read_sse(queue_server, f"/jobs/{job_id}/events")
+        assert events[0][0] == "status"
+        assert events[0][1]["status"] == "done"
+        assert events[-1][0] == "result"
+
+    def test_events_for_unknown_job_404(self, queue_server):
+        with pytest.raises(urllib.error.HTTPError) as info:
+            _get(queue_server, "/jobs/424242/events")
+        assert info.value.code == 404
+
+    def test_pool_mode_streams_too(self, server):
+        _, reply = _post(server, "/jobs",
+                         {"kind": "detect", "source": RACY,
+                          "source_name": "pool-sse.hj"})
+        events = _read_sse(server, f"/jobs/{reply['ids'][0]}/events")
+        assert events[-1][0] == "result"
+        assert events[-1][1]["result"]["result"]["race_count"] == 1

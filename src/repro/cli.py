@@ -375,13 +375,47 @@ def _batch_jobs(options: argparse.Namespace) -> List["Job"]:
 
     files = _collect_batch_files(options.paths)
     args = [_parse_arg(a) for a in options.arg]
+    # Every batch job gets a distributed-trace identity at submission;
+    # it only produces log records when a trace log is enabled.
     return [Job(options.kind, _read_source(path), source_name=path,
                 args=args, algorithm=options.algorithm,
                 strip_finishes=options.strip_finishes,
                 max_iterations=options.max_iterations,
                 replay=options.replay, incremental=options.incremental,
-                timeout_s=options.timeout)
+                timeout_s=options.timeout,
+                trace=telemetry.TraceContext.mint())
             for path in files]
+
+
+def _enable_trace_log(options: argparse.Namespace,
+                      node: Optional[str] = None) -> None:
+    """Honour ``--trace-log`` for the service verbs that run work in
+    this process (batch, queue submit)."""
+    if getattr(options, "trace_log", None):
+        telemetry.set_tracelog(options.trace_log, node=node)
+
+
+def _emit_submit_spans(jobs, ids, ts: Optional[float] = None) -> None:
+    """Root each batch job's trace with a ``submit`` span (the parent
+    every downstream queue/pool/worker span hangs off).  Pass the
+    pre-enqueue timestamp as ``ts`` so the span starts no later than
+    the children it anchors."""
+    log = telemetry.get_tracelog()
+    if log is None:
+        return
+    import time as _time
+
+    now = ts if ts is not None else _time.time()
+    for job, job_id in zip(jobs, ids):
+        trace = telemetry.TraceContext.from_dict(job.trace)
+        if trace is None:  # pragma: no cover - defensive
+            continue
+        try:
+            log.span("submit", now, now, trace.trace_id,
+                     span_id=trace.span_id, job=job.source_name,
+                     job_id=str(job_id))
+        except Exception:  # pragma: no cover - tracing is best-effort
+            pass
 
 
 def _batch_report(options: argparse.Namespace, results) -> int:
@@ -433,6 +467,7 @@ def _cmd_batch_queue(options: argparse.Namespace) -> int:
         derive_batch_id,
     )
 
+    _enable_trace_log(options)
     jobs = _batch_jobs(options)
     if options.output_dir:
         os.makedirs(options.output_dir, exist_ok=True)
@@ -448,9 +483,13 @@ def _cmd_batch_queue(options: argparse.Namespace) -> int:
             f"{len(already_done)} finished job(s) in {options.queue}; "
             "re-run with --resume to continue it (or --batch-id for a "
             "fresh batch)")
-    queue.submit_many(
+    import time as _time
+
+    submitted_at = _time.time()
+    ids = queue.submit_many(
         ((job, batch_dedupe_key(batch_id, job)) for job in jobs),
         batch_id=batch_id)
+    _emit_submit_spans(jobs, ids, ts=submitted_at)
     pending = queue.unfinished(batch_id)
     print(f"batch {batch_id}: {len(jobs)} job(s), "
           f"{len(jobs) - pending} already finished, {pending} to run",
@@ -478,6 +517,18 @@ def _cmd_batch_queue(options: argparse.Namespace) -> int:
         if not options.json or options.verbose:
             print(result.describe(), file=sys.stderr)
         _write_repaired(options, row["source_name"], result)
+    # Surface the queue-tier events that leave no row state behind —
+    # the counters /metrics exposes, for the single-shot CLI path.
+    qc = queue.counters_snapshot()
+    print(f"queue: dedupe hits {qc['dedupe_hits']}, expired leases "
+          f"re-offered {qc['expired_reclaims']}, retry budgets "
+          f"exhausted {qc['expired_failures']}; heartbeats sent "
+          f"{worker.heartbeats_sent}, missed {worker.heartbeats_missed}",
+          file=sys.stderr)
+    if cache is not None:
+        print(f"cache: hits {cache.stats.hits}/{cache.stats.lookups}, "
+              f"evictions {cache.stats_dict()['evictions']}",
+              file=sys.stderr)
     return _batch_report(options, results)
 
 
@@ -489,6 +540,7 @@ def _cmd_batch(options: argparse.Namespace) -> int:
                           "checkpoint lives in the queue database)")
     if options.queue:
         return _cmd_batch_queue(options)
+    _enable_trace_log(options)
     jobs = _batch_jobs(options)
     cache = None
     if not options.no_cache:
@@ -502,6 +554,7 @@ def _cmd_batch(options: argparse.Namespace) -> int:
     interrupted = False
     with WorkerPool(workers=options.workers, cache=cache) as pool:
         ids = [pool.submit(job) for job in jobs]
+        _emit_submit_spans(jobs, ids)
         id_to_job = dict(zip(ids, jobs))
         remaining = set(ids)
         while remaining:
@@ -532,7 +585,8 @@ def _cmd_batch(options: argparse.Namespace) -> int:
     if cache is not None:
         stats = cache.stats
         print(f"cache hits {stats.hits}/{stats.lookups} "
-              f"({stats.hit_rate:.0%})", file=sys.stderr)
+              f"({stats.hit_rate:.0%}), evictions "
+              f"{cache.stats_dict()['evictions']}", file=sys.stderr)
     code = _batch_report(options, results)
     return 1 if interrupted else code
 
@@ -547,6 +601,7 @@ def _cmd_serve(options: argparse.Namespace) -> int:
           queue_path=options.queue, node_id=options.node_id,
           lease_s=options.lease, auth_token=auth_token,
           rate_limit=options.rate_limit, rate_burst=options.rate_burst,
+          trace_log=options.trace_log,
           announce=lambda line: print(line, file=sys.stderr))
     return 0
 
@@ -554,12 +609,17 @@ def _cmd_serve(options: argparse.Namespace) -> int:
 def _cmd_queue_submit(options: argparse.Namespace) -> int:
     from .service import JobQueue, batch_dedupe_key, derive_batch_id
 
+    _enable_trace_log(options)
     jobs = _batch_jobs(options)
     queue = JobQueue(options.queue, max_attempts=options.max_attempts)
     batch_id = options.batch_id or derive_batch_id(jobs)
+    import time as _time
+
+    submitted_at = _time.time()
     ids = queue.submit_many(
         ((job, batch_dedupe_key(batch_id, job)) for job in jobs),
         batch_id=batch_id, tenant=options.tenant)
+    _emit_submit_spans(jobs, ids, ts=submitted_at)
     if options.json:
         print(json.dumps({"batch_id": batch_id, "ids": ids},
                          sort_keys=True))
@@ -602,6 +662,49 @@ def _cmd_queue_status(options: argparse.Namespace) -> int:
             for state in ("queued", "leased", "done", "failed",
                           "cancelled")))
     return 0 if counts["queued"] + counts["leased"] == 0 else 1
+
+
+def _cmd_trace_merge(options: argparse.Namespace) -> int:
+    """``trace merge``: join N per-node trace logs into one Chrome
+    ``trace_event`` document that chrome://tracing / Perfetto load."""
+    missing = [path for path in options.logs if not os.path.exists(path)]
+    if missing:
+        raise _Diagnostic(
+            f"error: no such trace log: {', '.join(missing)}")
+    document = telemetry.merge_trace_logs(options.logs)
+    errors = telemetry.validate_chrome_trace(document)
+    if errors:  # pragma: no cover - merge always emits valid documents
+        raise _Diagnostic("error: merged trace is not a valid Chrome "
+                          "trace: " + "; ".join(errors[:3]))
+    with open(options.output, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    meta = document["otherData"]
+    print(f"merged {meta['records']} record(s) from "
+          f"{len(options.logs)} log(s) across "
+          f"{len(meta['nodes'])} node(s) into {options.output} "
+          "(load in chrome://tracing or https://ui.perfetto.dev)",
+          file=sys.stderr)
+    return 0
+
+
+def _cmd_trace_show(options: argparse.Namespace) -> int:
+    """``trace show``: one job's cross-process span tree with per-hop
+    latency, reconstructed from the per-node logs."""
+    records = []
+    for path in options.logs:
+        records.extend(telemetry.read_records(path))
+    if not records:
+        raise _Diagnostic("error: no trace records in "
+                          + ", ".join(options.logs))
+    trace_id, roots = telemetry.trace_tree(records, options.selector)
+    if trace_id is None:
+        raise _Diagnostic(
+            f"error: {options.selector!r} does not select exactly one "
+            "trace (use a trace id prefix, a queue/job id, or a source "
+            "file name)")
+    print(telemetry.render_trace_tree(trace_id, roots, events=records))
+    return 0
 
 
 def _cmd_queue_drain(options: argparse.Namespace) -> int:
@@ -766,6 +869,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="bound the on-disk cache; least-recently-"
                             "used entries are evicted beyond this size")
 
+    def add_trace_log_arg(p) -> None:
+        p.add_argument("--trace-log", metavar="FILE", default=None,
+                       help="append distributed-trace records (JSONL) "
+                            "to this per-node file; merge node logs "
+                            "with 'repro-repair trace merge'")
+
     p_batch = sub.add_parser(
         "batch",
         help="run a job over many programs on a worker pool")
@@ -802,6 +911,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("--max-attempts", type=int, default=3,
                          help="per-job retry budget for expired leases "
                               "(default 3)")
+    add_trace_log_arg(p_batch)
     p_batch.set_defaults(func=_cmd_batch)
 
     p_serve = sub.add_parser(
@@ -828,6 +938,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "(token bucket; default: unlimited)")
     p_serve.add_argument("--rate-burst", type=float, default=None,
                          help="per-tenant burst size (default: 2x rate)")
+    add_trace_log_arg(p_serve)
     p_serve.set_defaults(func=_cmd_serve)
 
     p_queue = sub.add_parser(
@@ -847,6 +958,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_qsubmit.add_argument("--max-attempts", type=int, default=3)
     p_qsubmit.add_argument("--json", action="store_true",
                            help="print {batch_id, ids} JSON")
+    add_trace_log_arg(p_qsubmit)
     p_qsubmit.set_defaults(func=_cmd_queue_submit)
 
     p_qstatus = queue_sub.add_parser(
@@ -865,6 +977,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_qdrain.add_argument("--batch-id", default=None,
                           help="restrict the drain to one batch")
     p_qdrain.set_defaults(func=_cmd_queue_drain)
+
+    p_trace = sub.add_parser(
+        "trace", help="merge and inspect distributed trace logs")
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+
+    p_tmerge = trace_sub.add_parser(
+        "merge", help="join per-node trace logs into one Chrome trace")
+    p_tmerge.add_argument("logs", nargs="+", metavar="LOG",
+                          help="per-node JSONL trace log files")
+    p_tmerge.add_argument("-o", "--output", required=True, metavar="FILE",
+                          help="write the Chrome trace_event JSON here")
+    p_tmerge.set_defaults(func=_cmd_trace_merge)
+
+    p_tshow = trace_sub.add_parser(
+        "show", help="print one job's cross-process span tree")
+    p_tshow.add_argument("selector",
+                         help="a trace id (or prefix), queue/job id, or "
+                              "source file name")
+    p_tshow.add_argument("--log", dest="logs", action="append",
+                         required=True, metavar="FILE",
+                         help="trace log to read (repeatable)")
+    p_tshow.set_defaults(func=_cmd_trace_show)
     return parser
 
 

@@ -153,6 +153,7 @@ class ResultCache:
         entry["cached"] = False
         entry["coalesced"] = False
         entry["worker_pid"] = None
+        entry["trace_id"] = None
         self._memory[key] = entry
         self.store.write(key, entry)
         self.stats.stores += 1

@@ -78,7 +78,7 @@ class Job:
     __slots__ = ("kind", "source", "source_name", "args", "algorithm",
                  "engine", "strip_finishes", "max_iterations", "replay",
                  "incremental", "processors", "sequential", "max_ops",
-                 "timeout_s")
+                 "timeout_s", "trace")
 
     def __init__(self, kind: str, source: str, source_name: str = "<job>",
                  args: Sequence[Any] = (), algorithm: str = "mrw",
@@ -87,7 +87,8 @@ class Job:
                  incremental: Optional[bool] = None,
                  processors: int = 12, sequential: bool = False,
                  max_ops: int = 200_000_000,
-                 timeout_s: Optional[float] = None) -> None:
+                 timeout_s: Optional[float] = None,
+                 trace: Optional[Dict[str, str]] = None) -> None:
         if kind not in JOB_KINDS:
             raise ValueError(f"unknown job kind {kind!r}; "
                              f"expected one of {', '.join(JOB_KINDS)}")
@@ -112,6 +113,15 @@ class Job:
         #: wall-clock budget enforced by the worker pool (``None`` = no
         #: limit).  :func:`run_job` itself does not watch the clock.
         self.timeout_s = timeout_s
+        #: distributed-tracing context minted at submission
+        #: (``{"trace_id", "span_id"}``; see
+        #: :class:`repro.telemetry.TraceContext`).  Travels with the job
+        #: through queue rows and worker pipes so every span recorded
+        #: anywhere in the fleet carries the job's trace identity.
+        #: Excluded from :meth:`semantic_fields` — identity, not outcome.
+        if hasattr(trace, "to_dict"):
+            trace = trace.to_dict()
+        self.trace = trace
 
     # ------------------------------------------------------------------
 
@@ -155,6 +165,7 @@ class Job:
             "sequential": self.sequential,
             "max_ops": self.max_ops,
             "timeout_s": self.timeout_s,
+            "trace": self.trace,
         }
 
     @classmethod
@@ -192,14 +203,15 @@ class JobResult:
     coalesced and supervisor-assigned results.
     """
 
-    #: Bumped for the ``timings``/``counters`` fields (schema 2).  The
-    #: result cache includes this constant in its keys, so old stored
-    #: entries simply stop being hit — they are never mis-parsed.
-    SCHEMA = 2
+    #: Bumped for the ``trace_id`` field (schema 3; 2 added
+    #: ``timings``/``counters``).  The result cache includes this
+    #: constant in its keys, so old stored entries simply stop being
+    #: hit — they are never mis-parsed.
+    SCHEMA = 3
 
     __slots__ = ("status", "kind", "source_name", "result", "error",
                  "elapsed_s", "cached", "coalesced", "worker_pid",
-                 "timings", "counters")
+                 "timings", "counters", "trace_id")
 
     def __init__(self, status: str, kind: str, source_name: str,
                  result: Optional[Dict[str, Any]] = None,
@@ -208,7 +220,8 @@ class JobResult:
                  coalesced: bool = False,
                  worker_pid: Optional[int] = None,
                  timings: Optional[Dict[str, float]] = None,
-                 counters: Optional[Dict[str, int]] = None) -> None:
+                 counters: Optional[Dict[str, int]] = None,
+                 trace_id: Optional[str] = None) -> None:
         if status not in STATUSES:
             raise ValueError(f"unknown status {status!r}")
         self.status = status
@@ -222,6 +235,10 @@ class JobResult:
         self.worker_pid = worker_pid
         self.timings = timings
         self.counters = counters
+        #: the distributed trace this result belongs to (from
+        #: ``Job.trace``); lets operators jump from a result to
+        #: ``repro trace show``.
+        self.trace_id = trace_id
 
     # -- constructors --------------------------------------------------
 
@@ -285,6 +302,7 @@ class JobResult:
             "worker_pid": self.worker_pid,
             "timings": self.timings,
             "counters": self.counters,
+            "trace_id": self.trace_id,
         }
 
     @classmethod
@@ -300,7 +318,8 @@ class JobResult:
                    coalesced=data.get("coalesced", False),
                    worker_pid=data.get("worker_pid"),
                    timings=data.get("timings"),
-                   counters=data.get("counters"))
+                   counters=data.get("counters"),
+                   trace_id=data.get("trace_id"))
 
     def describe(self) -> str:
         """One human line, for batch progress output."""
@@ -333,12 +352,7 @@ def run_job(job: Job) -> JobResult:
     escapes this function.
     """
     from .. import telemetry
-    from ..lang import parse, serial_elision, strip_finishes, validate
-    from ..runtime import (
-        BUILTIN_NAMES,
-        get_default_engine,
-        set_default_engine,
-    )
+    from ..runtime import get_default_engine, set_default_engine
     from ..runtime.values import reset_ids
 
     start = time.perf_counter()
@@ -353,47 +367,12 @@ def run_job(job: Job) -> JobResult:
     # one job's spans into the next.
     tel = telemetry.TelemetrySession(f"job:{job.source_name}").install()
     try:
-        if job.engine:
-            set_default_engine(job.engine)
-        program = parse(job.source, source_name=job.source_name)
-        validate(program, BUILTIN_NAMES)
-        if job.strip_finishes:
-            program = strip_finishes(program)
-        if job.kind == "detect":
-            from ..races import detect_races
-
-            detection = detect_races(program, job.args,
-                                     algorithm=job.algorithm,
-                                     max_ops=job.max_ops)
-            payload = detection.to_payload()
-        elif job.kind == "repair":
-            from ..repair import repair_program
-
-            repair = repair_program(program, job.args,
-                                    algorithm=job.algorithm,
-                                    max_iterations=job.max_iterations,
-                                    max_ops=job.max_ops,
-                                    reuse_trace=job.replay,
-                                    incremental=job.incremental)
-            payload = repair.to_payload()
-        else:  # measure
-            from ..graph import measure_program
-
-            if job.sequential:
-                program = serial_elision(program)
-            schedule = measure_program(program, job.args,
-                                       processors=job.processors,
-                                       max_ops=job.max_ops)
-            payload = {
-                "work": schedule.work,
-                "span": schedule.span,
-                "makespan": schedule.makespan,
-                "processors": job.processors,
-                "sequential": job.sequential,
-                "speedup": schedule.speedup,
-                "parallelism": schedule.parallelism,
-            }
-        outcome = JobResult.ok(job, payload, time.perf_counter() - start)
+        # One "job" root span brackets the whole pipeline, so the
+        # distributed trace shows dispatch→start latency and every
+        # phase hangs off a single per-job node.
+        with tel.span("job", category="job", kind=job.kind,
+                      source=job.source_name):
+            outcome = _execute(job, start)
     except Exception as error:
         outcome = JobResult.failure(job, error, time.perf_counter() - start)
     finally:
@@ -402,4 +381,62 @@ def run_job(job: Job) -> JobResult:
     outcome.timings = {name: round(total, 6)
                        for name, total in tel.phase_totals().items()}
     outcome.counters = tel.counters.as_dict()
+    trace = telemetry.TraceContext.from_dict(job.trace)
+    if trace is not None:
+        outcome.trace_id = trace.trace_id
+        log = telemetry.get_tracelog()
+        if log is not None:
+            try:
+                log.session(tel, trace, job=job.source_name,
+                            status=outcome.status)
+            except Exception:  # pragma: no cover - tracing must not fail jobs
+                pass
     return outcome
+
+
+def _execute(job: Job, start: float) -> JobResult:
+    """The kind dispatch of :func:`run_job` (its ``job`` span body)."""
+    from ..lang import parse, serial_elision, strip_finishes, validate
+    from ..runtime import BUILTIN_NAMES, set_default_engine
+
+    if job.engine:
+        set_default_engine(job.engine)
+    program = parse(job.source, source_name=job.source_name)
+    validate(program, BUILTIN_NAMES)
+    if job.strip_finishes:
+        program = strip_finishes(program)
+    if job.kind == "detect":
+        from ..races import detect_races
+
+        detection = detect_races(program, job.args,
+                                 algorithm=job.algorithm,
+                                 max_ops=job.max_ops)
+        payload = detection.to_payload()
+    elif job.kind == "repair":
+        from ..repair import repair_program
+
+        repair = repair_program(program, job.args,
+                                algorithm=job.algorithm,
+                                max_iterations=job.max_iterations,
+                                max_ops=job.max_ops,
+                                reuse_trace=job.replay,
+                                incremental=job.incremental)
+        payload = repair.to_payload()
+    else:  # measure
+        from ..graph import measure_program
+
+        if job.sequential:
+            program = serial_elision(program)
+        schedule = measure_program(program, job.args,
+                                   processors=job.processors,
+                                   max_ops=job.max_ops)
+        payload = {
+            "work": schedule.work,
+            "span": schedule.span,
+            "makespan": schedule.makespan,
+            "processors": job.processors,
+            "sequential": job.sequential,
+            "speedup": schedule.speedup,
+            "parallelism": schedule.parallelism,
+        }
+    return JobResult.ok(job, payload, time.perf_counter() - start)

@@ -24,6 +24,7 @@ import threading
 import time
 from typing import Any, Dict, Optional, Tuple, Union
 
+from .. import telemetry
 from .cache import ResultCache
 from .jobs import JobResult
 from .pool import WorkerPool
@@ -61,6 +62,8 @@ class QueueWorker:
         self.completed = 0
         self.lost_leases = 0
         self.released = 0
+        self.heartbeats_sent = 0
+        self.heartbeats_missed = 0
 
     # -- lifecycle -----------------------------------------------------
 
@@ -68,6 +71,7 @@ class QueueWorker:
         """Run the node loop in a background thread (the serve mode)."""
         if self._thread is not None:
             return self
+        self._export_node_env()
         self.pool.start()
         self._thread = threading.Thread(target=self._run_loop,
                                         name="repro-queue-node", daemon=True)
@@ -108,6 +112,7 @@ class QueueWorker:
         batch returns when the last node finishes its last job.
         Returns how many jobs this node completed.  ``idle_timeout_s``
         bounds how long to wait on work leased elsewhere."""
+        self._export_node_env()
         self.pool.start()
         completed_before = self.completed
         idle_since: Optional[float] = None
@@ -132,6 +137,13 @@ class QueueWorker:
         self.pool.shutdown(wait=True)
         self._drain_completions(block=False)
         return self.completed - completed_before
+
+    def _export_node_env(self) -> None:
+        """Publish this node's id for the trace log *before* the pool
+        forks, so worker-emitted records land in this node's lane.  An
+        id already in the environment (the subprocess entry points set
+        one) wins — never clobber another node's lane from a thread."""
+        os.environ.setdefault("REPRO_NODE_ID", self.node_id)
 
     # -- the node loop -------------------------------------------------
 
@@ -162,12 +174,30 @@ class QueueWorker:
             item = self.queue.claim(self.node_id, lease_s=self.lease_s)
             if item is None:
                 break
-            queue_id, job, _attempt = item
+            queue_id, job, attempt = item
+            self._trace_claim(queue_id, job, attempt)
             pool_id = self.pool.submit(job)
             with self._lock:
                 self._in_flight[pool_id] = queue_id
             claimed_any = True
         return claimed_any
+
+    def _trace_claim(self, queue_id: int, job, attempt: int) -> None:
+        """Record the enqueue-to-lease wait as a ``queue.wait`` span."""
+        trace = telemetry.TraceContext.from_dict(job.trace)
+        log = telemetry.get_tracelog()
+        if trace is None or log is None:
+            return
+        now = time.time()
+        row = self.queue.status(queue_id)
+        enqueued = (row or {}).get("enqueued_at") or now
+        try:
+            log.span("queue.wait", enqueued, now, trace.trace_id,
+                     parent_id=trace.span_id, queue_id=queue_id,
+                     attempt=attempt, node_id=self.node_id,
+                     job=job.source_name)
+        except Exception:  # pragma: no cover - tracing must not fail jobs
+            pass
 
     def _heartbeat_leases(self) -> None:
         now = time.monotonic()
@@ -177,11 +207,14 @@ class QueueWorker:
         with self._lock:
             held = list(self._in_flight.items())
         for _pool_id, queue_id in held:
-            if not self.queue.heartbeat(queue_id, self.node_id,
-                                        lease_s=self.lease_s):
+            if self.queue.heartbeat(queue_id, self.node_id,
+                                    lease_s=self.lease_s):
+                self.heartbeats_sent += 1
+            else:
                 # Lease gone: the job expired here and was re-claimed
                 # elsewhere.  Keep running — the result still feeds the
                 # shared cache — but completion will be fenced out.
+                self.heartbeats_missed += 1
                 self.lost_leases += 1
 
     def _drain_completions(self, block: bool) -> bool:
@@ -223,6 +256,8 @@ class QueueWorker:
             "completed": self.completed,
             "lost_leases": self.lost_leases,
             "released": self.released,
+            "heartbeats_sent": self.heartbeats_sent,
+            "heartbeats_missed": self.heartbeats_missed,
             "queue": self.queue.counts(),
         }
 
@@ -253,10 +288,16 @@ def main(argv=None) -> int:  # pragma: no cover - exercised as subprocess
     parser.add_argument("--cache-max-mb", type=float, default=None)
     parser.add_argument("--node-id", default=None)
     parser.add_argument("--lease", type=float, default=None)
+    parser.add_argument("--trace-log", default=None,
+                        help="append distributed-trace records to this "
+                             "JSONL file (one per node)")
     options = parser.parse_args(argv)
+    node_id = options.node_id or f"node-{os.getpid()}"
+    if options.trace_log:
+        telemetry.set_tracelog(options.trace_log, node=node_id)
     queue = JobQueue(options.queue)
     return _node_entry(options.queue, options.workers, options.cache_dir,
-                       options.node_id or f"node-{os.getpid()}",
+                       node_id,
                        options.lease if options.lease else queue.lease_s,
                        options.cache_max_mb)
 

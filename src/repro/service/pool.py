@@ -47,6 +47,7 @@ from collections import deque
 from multiprocessing import connection
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
+from .. import telemetry
 from .cache import ResultCache
 from .jobs import Job, JobResult
 
@@ -97,6 +98,8 @@ def _worker_main(conn_) -> None:
                           "message": f"worker dispatch failed: {error!r}"},
                 "elapsed_s": 0.0, "cached": False, "coalesced": False,
                 "worker_pid": None, "timings": None, "counters": None,
+                "trace_id": (job_dict.get("trace") or {}).get("trace_id")
+                if isinstance(job_dict.get("trace"), dict) else None,
             }
         result["worker_pid"] = os.getpid()
         try:
@@ -108,13 +111,18 @@ def _worker_main(conn_) -> None:
 class _WorkerHandle:
     """Parent-side view of one worker process."""
 
-    __slots__ = ("process", "conn", "job_id", "started_at", "deadline")
+    __slots__ = ("process", "conn", "job_id", "started_at",
+                 "started_epoch", "deadline")
 
     def __init__(self, process, conn_) -> None:
         self.process = process
         self.conn = conn_
         self.job_id: Optional[str] = None
         self.started_at: Optional[float] = None
+        #: dispatch time on the epoch clock, for trace-log records (the
+        #: monotonic ``started_at`` drives deadlines; this one places
+        #: the span on the fleet-wide time axis).
+        self.started_epoch: Optional[float] = None
         self.deadline: Optional[float] = None
 
     @property
@@ -124,6 +132,7 @@ class _WorkerHandle:
     def assign(self, job_id: str, job: Job) -> None:
         self.job_id = job_id
         self.started_at = time.monotonic()
+        self.started_epoch = time.time()
         self.deadline = (self.started_at + job.timeout_s
                          if job.timeout_s else None)
         self.conn.send((job_id, job.to_dict()))
@@ -131,6 +140,7 @@ class _WorkerHandle:
     def clear(self) -> None:
         self.job_id = None
         self.started_at = None
+        self.started_epoch = None
         self.deadline = None
 
 
@@ -158,11 +168,19 @@ class PoolStats:
         #: phase name -> recent per-job latency samples (seconds), from
         #: executed jobs' telemetry timings.
         self.phases: Dict[str, deque] = {}
+        #: phase name -> fixed-bucket histogram over the *whole* uptime
+        #: (the sample rings above forget; these are exact, mergeable
+        #: across nodes, and feed the Prometheus exposition).
+        self.histograms: Dict[str, telemetry.Histogram] = {}
         #: summed runtime counters across executed jobs' telemetry.
         self.counters: Dict[str, int] = {}
         self.worker_restarts = 0
         self.worker_timeouts = 0
         self.worker_crashes = 0
+        #: jobs whose worker was killed mid-flight (timeout or crash) —
+        #: each one also gets an explicit ``truncated`` span in the
+        #: trace log instead of silently dropping its in-flight spans.
+        self.truncated_spans = 0
         self.started_at = time.monotonic()
 
     def record(self, result: JobResult) -> None:
@@ -182,6 +200,10 @@ class PoolStats:
                     samples = self.phases[phase] = deque(
                         maxlen=self.MAX_PHASE_SAMPLES)
                 samples.append(seconds)
+                hist = self.histograms.get(phase)
+                if hist is None:
+                    hist = self.histograms[phase] = telemetry.Histogram()
+                hist.observe(seconds)
             for name, value in (result.counters or {}).items():
                 self.counters[name] = self.counters.get(name, 0) + value
 
@@ -207,6 +229,7 @@ class PoolStats:
                 "restarts": self.worker_restarts,
                 "timeouts": self.worker_timeouts,
                 "crashes": self.worker_crashes,
+                "truncated_spans": self.truncated_spans,
             },
         }
 
@@ -216,6 +239,11 @@ class PoolStats:
 
         return {phase: summarize_samples(list(samples))
                 for phase, samples in sorted(self.phases.items())}
+
+    def histograms_dict(self) -> Dict[str, Dict[str, Any]]:
+        """Per-phase fixed-bucket histograms, serialized."""
+        return {phase: hist.to_dict()
+                for phase, hist in sorted(self.histograms.items())}
 
 
 class WorkerPool:
@@ -252,6 +280,9 @@ class WorkerPool:
         self._key_owner: Dict[str, str] = {}
         self._waiters: Dict[str, List[str]] = {}
         self._owner_key: Dict[str, str] = {}
+        #: job id -> submission epoch, for the ``pool.wait`` trace span
+        #: (submit-to-dispatch latency).  Entries die with the job.
+        self._submit_epoch: Dict[str, float] = {}
         #: completion stream for run()/next_completed() consumers.
         self._completed: "queue.Queue[Tuple[str, JobResult]]" = queue.Queue()
         self._keep_stream = keep_stream
@@ -322,6 +353,7 @@ class WorkerPool:
             self._counter += 1
             job_id = f"job-{self._counter:06d}"
             self._jobs[job_id] = job
+            self._submit_epoch[job_id] = time.time()
             self.stats.submitted += 1
             key = None
             if self.cache is not None:
@@ -419,6 +451,7 @@ class WorkerPool:
         with self._lock:
             metrics: Dict[str, Any] = {
                 "phases": self.stats.phases_dict(),
+                "histograms": self.stats.histograms_dict(),
                 "counters": dict(self.stats.counters),
                 "jobs": {
                     "submitted": self.stats.submitted,
@@ -431,6 +464,7 @@ class WorkerPool:
                     "restarts": self.stats.worker_restarts,
                     "timeouts": self.stats.worker_timeouts,
                     "crashes": self.stats.worker_crashes,
+                    "truncated_spans": self.stats.truncated_spans,
                 },
             }
             if self.cache is not None:
@@ -472,6 +506,7 @@ class WorkerPool:
                     self._pending.appendleft(job_id)
                     continue
                 self._running.add(job_id)
+                self._trace_dispatch(job_id, job, handle)
 
     def _drain_results(self) -> None:
         conns = [h.conn for h in self._handles if not h.idle]
@@ -530,11 +565,56 @@ class WorkerPool:
                             job, "crashed",
                             f"worker process died (exit code {code})",
                             elapsed_s=elapsed)
+                    # The killed worker never got to export its spans;
+                    # flush an explicit terminal span from the parent so
+                    # the trace ends in `truncated`, not in silence.
+                    self._trace_truncated(job, handle, outcome.status)
                     self._finish(job_id, outcome)
                 handle.conn.close()
                 if not self._stop.is_set():
                     self._handles[index] = self._spawn()
                     self.stats.worker_restarts += 1
+
+    def _trace_dispatch(self, job_id: str, job: Job,
+                        handle: _WorkerHandle) -> None:
+        """Record the submit-to-dispatch wait as a ``pool.wait`` span."""
+        trace = telemetry.TraceContext.from_dict(job.trace)
+        log = telemetry.get_tracelog()
+        if trace is None or log is None:
+            return
+        submitted = self._submit_epoch.get(job_id)
+        started = handle.started_epoch or time.time()
+        try:
+            log.span("pool.wait", submitted or started, started,
+                     trace.trace_id, parent_id=trace.span_id,
+                     job_id=job_id, job=job.source_name,
+                     worker_pid=handle.process.pid)
+        except Exception:  # pragma: no cover - tracing must not fail jobs
+            pass
+
+    def _trace_truncated(self, job: Job, handle: _WorkerHandle,
+                         reason: str) -> None:
+        """Terminal span for a job whose worker was killed mid-flight.
+
+        The worker exports its session only at job end, so a SIGKILL
+        (deadline) or crash loses every in-flight span.  This parent-side
+        span — from dispatch to the kill — makes the loss explicit in
+        the trace instead of leaving the tree dangling.
+        """
+        self.stats.truncated_spans += 1
+        trace = telemetry.TraceContext.from_dict(job.trace)
+        log = telemetry.get_tracelog()
+        if trace is None or log is None:
+            return
+        now = time.time()
+        try:
+            log.span("truncated", handle.started_epoch or now, now,
+                     trace.trace_id, parent_id=trace.span_id,
+                     level="warn", reason=reason, job=job.source_name,
+                     worker_pid=handle.process.pid,
+                     timeout_s=job.timeout_s)
+        except Exception:  # pragma: no cover - tracing must not fail jobs
+            pass
 
     def _finish(self, job_id: str, result: JobResult) -> None:
         """Record a completion; store it, publish it, fan out twins.
@@ -542,6 +622,10 @@ class WorkerPool:
         Caller holds ``self._lock``.
         """
         self._running.discard(job_id)
+        self._submit_epoch.pop(job_id, None)
+        trace = telemetry.TraceContext.from_dict(self._jobs[job_id].trace)
+        if trace is not None and result.trace_id is None:
+            result.trace_id = trace.trace_id
         self._results[job_id] = result
         self.stats.record(result)
         if self._keep_stream:

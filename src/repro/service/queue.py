@@ -116,6 +116,18 @@ class JobQueue:
         self.max_attempts = max_attempts
         self.busy_timeout_s = busy_timeout_s
         self._local = threading.local()
+        #: in-process counters for queue events that are otherwise
+        #: invisible from the outside (they leave no distinct row
+        #: state): dedupe hits, expired leases re-offered, retry-budget
+        #: failures.  Surfaced by :meth:`gauges` → ``/metrics`` and the
+        #: batch ``--queue`` summary.  Per-process by design — each
+        #: node reports what *it* observed.
+        self._counters_lock = threading.Lock()
+        self.counters: Dict[str, int] = {
+            "dedupe_hits": 0,
+            "expired_reclaims": 0,
+            "expired_failures": 0,
+        }
         directory = os.path.dirname(os.path.abspath(path))
         os.makedirs(directory, exist_ok=True)
         # Create the schema eagerly so a bad path fails at construction,
@@ -156,6 +168,14 @@ class JobQueue:
         except (QueueError, sqlite3.Error):
             return False
 
+    def _count(self, name: str, n: int = 1) -> None:
+        with self._counters_lock:
+            self.counters[name] = self.counters.get(name, 0) + n
+
+    def counters_snapshot(self) -> Dict[str, int]:
+        with self._counters_lock:
+            return dict(self.counters)
+
     # -- submission ----------------------------------------------------
 
     def submit(self, job: Job, batch_id: Optional[str] = None,
@@ -183,6 +203,7 @@ class JobQueue:
                     (dedupe_key,)).fetchone()
                 if row is not None:
                     conn.execute("COMMIT")
+                    self._count("dedupe_hits")
                     return int(row["id"])
             cursor = conn.execute(
                 "INSERT INTO jobs (batch_id, tenant, dedupe_key, state, "
@@ -225,7 +246,7 @@ class JobQueue:
             try:
                 conn.execute("BEGIN IMMEDIATE")
                 row = conn.execute(
-                    "SELECT id, job_json, attempts, max_attempts "
+                    "SELECT id, state, job_json, attempts, max_attempts "
                     "FROM jobs WHERE state = 'queued' "
                     "OR (state = 'leased' AND lease_expires_at < ?) "
                     "ORDER BY enqueued_at, id LIMIT 1",
@@ -249,6 +270,7 @@ class JobQueue:
                         (json.dumps(outcome.to_dict(), sort_keys=True),
                          now_, row["id"]))
                     conn.execute("COMMIT")
+                    self._count("expired_failures")
                     continue  # look for the next runnable job
                 conn.execute(
                     "UPDATE jobs SET state = 'leased', lease_owner = ?, "
@@ -256,6 +278,11 @@ class JobQueue:
                     "started_at = COALESCE(started_at, ?) WHERE id = ?",
                     (owner, now_ + lease, now_, row["id"]))
                 conn.execute("COMMIT")
+                if row["state"] == "leased":
+                    # An expired lease re-offered: the previous owner
+                    # stopped heartbeating and this claim took the job
+                    # over.
+                    self._count("expired_reclaims")
             except sqlite3.Error as error:
                 conn.execute("ROLLBACK")
                 raise QueueError(f"claim failed: {error}") from error
@@ -355,6 +382,33 @@ class JobQueue:
             counts[row["state"]] = int(row["n"])
         counts["total"] = sum(counts[state] for state in QUEUE_STATES)
         return counts
+
+    def gauges(self, now: Optional[float] = None) -> Dict[str, Any]:
+        """Fleet-health gauges for ``/metrics``: depth by state, age of
+        the oldest queued job and oldest outstanding lease, total retry
+        attempts beyond the first, plus this process's event counters.
+        One read transaction — cheap enough to serve on every scrape."""
+        now_ = time.time() if now is None else now
+        conn = self._conn()
+        depth = self.counts()
+        oldest_queued = conn.execute(
+            "SELECT MIN(enqueued_at) AS t FROM jobs WHERE state = 'queued'"
+        ).fetchone()["t"]
+        oldest_lease = conn.execute(
+            "SELECT MIN(started_at) AS t FROM jobs WHERE state = 'leased'"
+        ).fetchone()["t"]
+        retries = conn.execute(
+            "SELECT COALESCE(SUM(MAX(attempts - 1, 0)), 0) AS n FROM jobs"
+        ).fetchone()["n"]
+        return {
+            "depth": depth,
+            "oldest_queued_age_s": round(max(now_ - oldest_queued, 0.0), 3)
+            if oldest_queued is not None else 0.0,
+            "oldest_lease_age_s": round(max(now_ - oldest_lease, 0.0), 3)
+            if oldest_lease is not None else 0.0,
+            "retries_total": int(retries),
+            "counters": self.counters_snapshot(),
+        }
 
     def unfinished(self, batch_id: Optional[str] = None) -> int:
         """Jobs still queued or leased (the drain-loop predicate)."""

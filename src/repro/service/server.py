@@ -51,7 +51,9 @@ import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional, Tuple, Union
+from urllib.parse import parse_qs, urlsplit
 
+from .. import telemetry
 from .auth import RateLimiter, check_bearer, tenant_of
 from .cache import ResultCache
 from .jobs import Job, JobResult
@@ -101,6 +103,16 @@ class ServiceHandler(BaseHTTPRequestHandler):
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str,
+                   content_type: str = "text/plain; charset=utf-8"
+                   ) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -177,15 +189,35 @@ class ServiceHandler(BaseHTTPRequestHandler):
             except (TypeError, ValueError) as error:
                 self._error(400, f"job #{index}: {error}")
                 return
+        # Mint a trace context per job (unless the submitter sent one):
+        # the submit span below is the root every downstream hop —
+        # queue.wait, pool.wait, the worker's phases — parents to.
+        submitted_at = time.time()
+        for job in jobs:
+            if telemetry.TraceContext.from_dict(job.trace) is None:
+                job.trace = telemetry.TraceContext.mint().to_dict()
         if self.queue is not None:
             ids: List[Any] = [self.queue.submit(job, tenant=tenant)
                               for job in jobs]
         else:
             ids = [self.pool.submit(job) for job in jobs]
+        log = telemetry.get_tracelog()
+        if log is not None:
+            done = time.time()
+            for job, job_id in zip(jobs, ids):
+                trace = telemetry.TraceContext.from_dict(job.trace)
+                try:
+                    log.span("submit", submitted_at, done, trace.trace_id,
+                             span_id=trace.span_id, job=job.source_name,
+                             job_id=str(job_id), tenant=tenant)
+                except Exception:  # pragma: no cover - tracing is best-effort
+                    pass
         self._send_json(202, {"ids": ids, "submitted": len(ids)})
 
     def do_GET(self) -> None:  # noqa: N802 - http.server naming
-        path = self.path.rstrip("/") or "/"
+        parts = urlsplit(self.path)
+        query = parse_qs(parts.query)
+        path = parts.path.rstrip("/") or "/"
         if path == "/healthz":
             self._serve_healthz()
             return
@@ -193,7 +225,18 @@ class ServiceHandler(BaseHTTPRequestHandler):
             self._send_json(200, self.service.stats_snapshot())
             return
         if path == "/metrics":
-            self._send_json(200, self.service.metrics_snapshot())
+            metrics = self.service.metrics_snapshot()
+            fmt = (query.get("format") or ["json"])[0]
+            if fmt == "prometheus":
+                self._send_text(
+                    200, telemetry.render_prometheus(metrics),
+                    content_type="text/plain; version=0.0.4; "
+                                 "charset=utf-8")
+            elif fmt == "json":
+                self._send_json(200, metrics)
+            else:
+                self._error(400, f"unknown metrics format {fmt!r}; "
+                                 "expected json or prometheus")
             return
         if path.startswith("/jobs/"):
             rest = path[len("/jobs/"):]
@@ -351,8 +394,14 @@ class ServiceServer:
         metrics["rate_limiter"] = self.rate_limiter.stats_dict()
         if self.node is not None:
             node = self.node.stats_snapshot()
-            metrics["queue"] = node.pop("queue")
+            node.pop("queue", None)  # superseded by the gauges below
             metrics["node"] = node
+        if self.queue is not None:
+            gauges = self.queue.gauges()
+            metrics["queue"] = gauges.pop("depth")
+            #: lease ages, retry totals and the per-process event
+            #: counters (dedupe hits, expired reclaims/failures).
+            metrics["queue_health"] = gauges
         return metrics
 
     def health_snapshot(self) -> Tuple[bool, Dict[str, Any]]:
@@ -420,11 +469,14 @@ def serve(workers: int = 1, host: str = "127.0.0.1", port: int = 8321,
           auth_token: Optional[str] = None,
           rate_limit: Optional[float] = None,
           rate_burst: Optional[float] = None,
+          trace_log: Optional[str] = None,
           announce=None) -> None:
     """Run the batch service until interrupted (the ``repro serve``
     entry point).  The first SIGINT shuts down gracefully: the listener
     stops, queued jobs are cancelled (pool mode) or released back to the
     queue (queue mode) and in-flight jobs drain."""
+    if trace_log:
+        telemetry.set_tracelog(trace_log, node=node_id)
     cache = ResultCache(cache_dir, max_mb=cache_max_mb) \
         if cache_dir is not None else ResultCache()
     server = ServiceServer(workers=workers, host=host, port=port,
@@ -440,6 +492,8 @@ def serve(workers: int = 1, host: str = "127.0.0.1", port: int = 8321,
             extras.append(f"cache at {cache_dir}")
         if auth_token:
             extras.append("bearer auth on")
+        if trace_log:
+            extras.append(f"trace log at {trace_log}")
         if rate_limit:
             extras.append(f"rate limit {rate_limit:g}/s per tenant")
         announce(f"repro serve: listening on http://{host_}:{port_} "

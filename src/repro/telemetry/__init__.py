@@ -26,6 +26,24 @@ aggregates with ``telemetry.counter("runtime.ops", n)``; both are no-ops
 """
 
 from .counters import Counters
+from .metrics import (
+    DEFAULT_BUCKETS_S,
+    Histogram,
+    parse_prometheus,
+    render_prometheus,
+)
+from .tracelog import (
+    TRACELOG_SCHEMA,
+    TraceContext,
+    TraceLog,
+    get_tracelog,
+    merge_trace_logs,
+    read_records,
+    render_trace_tree,
+    session_records,
+    set_tracelog,
+    trace_tree,
+)
 from .export import (
     PIPELINE_PID,
     SCHEDULE_PID,
@@ -50,6 +68,20 @@ from .spans import (
 
 __all__ = [
     "Counters",
+    "DEFAULT_BUCKETS_S",
+    "Histogram",
+    "parse_prometheus",
+    "render_prometheus",
+    "TRACELOG_SCHEMA",
+    "TraceContext",
+    "TraceLog",
+    "get_tracelog",
+    "set_tracelog",
+    "read_records",
+    "session_records",
+    "merge_trace_logs",
+    "trace_tree",
+    "render_trace_tree",
     "Span",
     "TelemetrySession",
     "NOOP_SPAN",

@@ -178,6 +178,10 @@ class TelemetrySession:
         self.name = name
         #: ``perf_counter`` value all span timestamps are relative to.
         self.origin_s = time.perf_counter()
+        #: the same origin on the epoch clock, so exporters that join
+        #: sessions from different processes (the distributed trace log)
+        #: can place spans on one shared time axis.
+        self.origin_epoch_s = time.time()
         self.counters = Counters()
         self._lock = threading.Lock()
         self._local = threading.local()

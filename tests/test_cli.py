@@ -177,7 +177,7 @@ class TestJsonMode:
         code = main(["detect", racy_file, "--json"])
         payload = json.loads(capsys.readouterr().out)
         assert code == 1
-        assert payload["schema"] == 2
+        assert payload["schema"] == 3
         assert payload["status"] == "ok"
         assert payload["kind"] == "detect"
         assert payload["result"]["race_count"] == 1

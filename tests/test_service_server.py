@@ -186,7 +186,7 @@ class TestMetricsEndpoint:
                          {"kind": "detect", "source": RACY,
                           "source_name": "timed.hj"})
         result = _poll_done(server, reply["ids"][0])["result"]
-        assert result["schema"] == 2
+        assert result["schema"] == 3
         assert "execute" in result["timings"]
         assert result["counters"]["detector.races"] >= 1
 

@@ -1,0 +1,298 @@
+"""Cross-process trace propagation: a job's spans — minted at submit,
+recorded by whichever node leased it and whichever pool worker ran it —
+must merge from N per-node logs into ONE connected tree per trace id.
+
+Three levels, mirroring ``test_service_queue``: a real 2-node fleet of
+OS processes draining one queue (the headline test), the pool's
+SIGKILL-containment path (a timed-out worker must still leave an
+explicit ``truncated`` terminal span), and the HTTP fleet-health
+surface (``GET /metrics?format=prometheus`` must satisfy a strict
+scraper).
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+import urllib.request
+
+import pytest
+
+from repro.service import Job, JobQueue, WorkerPool
+from repro.telemetry import (
+    TraceContext,
+    TraceLog,
+    merge_trace_logs,
+    parse_prometheus,
+    read_records,
+    trace_tree,
+    validate_chrome_trace,
+)
+
+RACY = """
+var x = 0;
+def main() {
+    async { x = 1; }
+    print(x);
+}
+"""
+
+#: Long enough to be mid-flight when a tiny timeout fires.
+SLOW = """
+def main() {
+    var a = new int[64];
+    for (var round = 0; round < 2500; round = round + 1) {
+        for (var i = 0; i < 64; i = i + 1) {
+            a[i] = a[i] + round;
+        }
+    }
+}
+"""
+
+
+def make_traced_job(n, kind="detect"):
+    return Job(kind, RACY.replace("x = 1", f"x = {n}"),
+               source_name=f"v{n}.hj", trace=TraceContext.mint())
+
+
+def _spawn_node(queue_path, node_id, trace_log):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in ("src", env.get("PYTHONPATH", "")) if p)
+    env.pop("REPRO_TRACELOG", None)
+    env.pop("REPRO_NODE_ID", None)
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.service.node",
+         "--queue", queue_path, "--workers", "2",
+         "--node-id", node_id, "--lease", "5.0",
+         "--trace-log", trace_log],
+        env=env, cwd=os.path.dirname(os.path.dirname(__file__)),
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+
+
+def _tree_span_count(roots):
+    total = 0
+    stack = list(roots)
+    while stack:
+        span = stack.pop()
+        total += 1
+        stack.extend(span["children"])
+    return total
+
+
+class TestTwoNodePropagation:
+    """Submit traced jobs, drain them with two real node processes,
+    merge the three logs (submitter + 2 nodes) and audit every trace."""
+
+    @pytest.mark.slow
+    def test_spans_form_one_connected_tree_per_job(self, tmp_path):
+        total = 6
+        jobs = [make_traced_job(n + 1) for n in range(total)]
+        queue_path = str(tmp_path / "q.db")
+        queue = JobQueue(queue_path, lease_s=5.0)
+
+        submit_log = TraceLog(str(tmp_path / "submit.jsonl"), node="cli")
+        ids = []
+        for job in jobs:
+            submitted_at = time.time()
+            queue_id = queue.submit(job, batch_id="b")
+            ids.append(queue_id)
+            trace = TraceContext.from_dict(job.trace)
+            submit_log.span("submit", submitted_at, time.time(),
+                            trace.trace_id, span_id=trace.span_id,
+                            job=job.source_name, job_id=str(queue_id))
+
+        logs = [str(tmp_path / "node-a.jsonl"),
+                str(tmp_path / "node-b.jsonl")]
+        nodes = [_spawn_node(queue_path, name, log)
+                 for name, log in zip(("node-a", "node-b"), logs)]
+        try:
+            for node in nodes:
+                assert node.wait(timeout=300) == 0
+        finally:
+            for node in nodes:
+                node.kill()
+
+        counts = queue.counts("b")
+        assert counts["done"] == total, counts
+
+        records = read_records(str(tmp_path / "submit.jsonl"))
+        for log in logs:
+            records.extend(read_records(log))
+
+        for queue_id, job in zip(ids, jobs):
+            trace = TraceContext.from_dict(job.trace)
+            # The result row carries the trace id back to the submitter.
+            assert queue.result(queue_id).trace_id == trace.trace_id
+
+            trace_id, roots = trace_tree(records, trace.trace_id)
+            assert trace_id == trace.trace_id
+            # ONE connected tree: a single root — the submit span —
+            # containing every span any process recorded for this job.
+            assert len(roots) == 1, \
+                [r["name"] for r in roots]
+            root = roots[0]
+            assert root["name"] == "submit"
+            assert root["node"] == "cli"
+            in_trace = [r for r in records
+                        if r.get("trace_id") == trace.trace_id
+                        and r.get("kind") == "span"]
+            assert _tree_span_count(roots) == len(in_trace)
+
+            hops = {child["name"] for child in root["children"]}
+            assert "queue.wait" in hops  # the node's lease hop
+            assert "job" in hops  # the worker's session root
+            # The worker's phase spans made it across the process
+            # boundary under the job root.
+            job_span = next(c for c in root["children"]
+                            if c["name"] == "job")
+            phases = {c["name"] for c in job_span["children"]}
+            assert "detect" in phases or "parse" in phases, phases
+
+            # Hop latency is explainable: every child starts at or
+            # after its parent did (same host, one clock).
+            def check_monotone(span):
+                for child in span["children"]:
+                    assert child["ts_s"] >= span["ts_s"] - 0.005, \
+                        (span["name"], child["name"])
+                    check_monotone(child)
+            check_monotone(root)
+
+        # Every span of every job came from a known lane, and the
+        # merged document is a loadable Chrome trace.
+        lanes = {r["node"] for r in records}
+        assert "cli" in lanes
+        assert lanes & {"node-a", "node-b"}
+        doc = merge_trace_logs([records])
+        assert validate_chrome_trace(doc) == []
+        assert doc["otherData"]["records"] == len(records)
+
+
+class TestTruncatedSpans:
+    """A pool worker SIGKILL'd by the supervisor cannot flush its own
+    session — the parent must write the ``truncated`` terminal span."""
+
+    def test_timeout_leaves_truncated_span(self, tmp_path, monkeypatch):
+        log_path = str(tmp_path / "pool.jsonl")
+        monkeypatch.setenv("REPRO_TRACELOG", log_path)
+        monkeypatch.setenv("REPRO_NODE_ID", "pool-host")
+
+        job = Job("detect", SLOW, source_name="slow.hj", timeout_s=0.5,
+                  trace=TraceContext.mint())
+        trace = TraceContext.from_dict(job.trace)
+        with WorkerPool(workers=1) as pool:
+            pool.submit(job)
+            item = pool.next_completed(timeout=60.0)
+            assert item is not None
+            _, result = item
+            metrics = pool.metrics_snapshot()
+        assert result.status == "timeout"
+        assert result.trace_id == trace.trace_id
+        assert metrics["workers"]["truncated_spans"] == 1
+
+        truncated = [r for r in read_records(log_path)
+                     if r["name"] == "truncated"]
+        assert len(truncated) == 1
+        rec = truncated[0]
+        assert rec["level"] == "warn"
+        assert rec["trace_id"] == trace.trace_id
+        assert rec["parent_id"] == trace.span_id
+        assert rec["args"]["reason"] == "timeout"
+        assert rec["args"]["timeout_s"] == 0.5
+        assert rec["node"] == "pool-host"
+
+        # The truncated span still joins the submit-rooted tree.
+        submit = {"schema": 1, "kind": "span", "level": "info",
+                  "name": "submit", "node": "cli", "worker": 0,
+                  "trace_id": trace.trace_id, "span_id": trace.span_id,
+                  "parent_id": None, "ts_s": rec["ts_s"] - 0.001,
+                  "end_s": rec["ts_s"], "args": {}}
+        _, roots = trace_tree(read_records(log_path) + [submit],
+                              trace.trace_id)
+        assert len(roots) == 1
+        assert "truncated" in {c["name"] for c in roots[0]["children"]}
+
+    def test_ok_jobs_leave_no_truncated_span(self, tmp_path, monkeypatch):
+        log_path = str(tmp_path / "pool-ok.jsonl")
+        monkeypatch.setenv("REPRO_TRACELOG", log_path)
+        job = make_traced_job(1)
+        with WorkerPool(workers=1) as pool:
+            pool.submit(job)
+            _, result = pool.next_completed(timeout=60.0)
+            metrics = pool.metrics_snapshot()
+        assert result.status == "ok"
+        assert metrics["workers"]["truncated_spans"] == 0
+        names = {r["name"] for r in read_records(log_path)}
+        assert "truncated" not in names
+        assert "job" in names  # the session flushed normally
+
+
+class TestPrometheusSurface:
+    """The fleet-health endpoint must satisfy a strict scraper."""
+
+    @pytest.fixture()
+    def server(self, tmp_path):
+        from repro.service import ServiceServer
+
+        srv = ServiceServer(workers=1, port=0,
+                            queue=str(tmp_path / "q.db"))
+        srv.start()
+        yield srv
+        srv.close()
+
+    def _get(self, server, path):
+        host, port = server.address
+        with urllib.request.urlopen(f"http://{host}:{port}{path}",
+                                    timeout=10) as reply:
+            return reply.status, reply.headers, reply.read()
+
+    def _run_one_job(self, server):
+        host, port = server.address
+        body = json.dumps({"kind": "detect", "source": RACY,
+                           "source_name": "p.hj"}).encode("utf-8")
+        request = urllib.request.Request(
+            f"http://{host}:{port}/jobs", data=body,
+            headers={"Content-Type": "application/json"})
+        with urllib.request.urlopen(request, timeout=10) as reply:
+            job_id = json.loads(reply.read())["ids"][0]
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            _, _, payload = self._get(server, f"/jobs/{job_id}")
+            if json.loads(payload)["status"] == "done":
+                return
+            time.sleep(0.05)
+        raise AssertionError("job never completed")
+
+    @pytest.mark.slow
+    def test_prometheus_exposition_parses(self, server):
+        self._run_one_job(server)
+        status, headers, payload = self._get(
+            server, "/metrics?format=prometheus")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        samples = parse_prometheus(payload.decode("utf-8"))
+        names = {name for name, _labels, _value in samples}
+        assert "repro_phase_seconds_bucket" in names
+        assert "repro_queue_depth" in names
+        assert "repro_jobs_by_status" in names
+        assert "repro_workers_truncated_spans" in names
+        depth = {labels["state"]: value for name, labels, value in samples
+                 if name == "repro_queue_depth"}
+        assert depth.get("done", 0) >= 1
+
+        # The JSON shape carries the same fleet-health gauges.
+        _, _, body = self._get(server, "/metrics")
+        metrics = json.loads(body)
+        health = metrics["queue_health"]
+        assert health["retries_total"] >= 0
+        assert set(health["counters"]) >= {"dedupe_hits",
+                                           "expired_reclaims",
+                                           "expired_failures"}
+
+    def test_unknown_format_is_400(self, server):
+        import urllib.error
+
+        with pytest.raises(urllib.error.HTTPError) as info:
+            self._get(server, "/metrics?format=xml")
+        assert info.value.code == 400
